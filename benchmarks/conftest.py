@@ -1,0 +1,56 @@
+"""Shared configuration for the experiment benchmarks.
+
+Every file here regenerates one table or figure of the paper at
+reproduction scale (see DESIGN.md's experiment index) and prints the
+same rows/series the paper reports.  pytest-benchmark times a
+representative unit of each experiment; the printed series is the
+deliverable.
+
+Scale notes: the paper's runs use 10⁷–10¹⁰ edges, up to 1024 MPI ranks
+and ~10⁸–10¹¹ switch operations.  The reproduction uses 10⁴–10⁵ edges,
+up to a few hundred simulated ranks and 10³–10⁵ operations; switch
+budgets are capped via ``cap_t`` so the full suite stays in the
+minutes range.  Shapes, not absolute magnitudes, are the target.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.util.harmonic import switches_for_visit_rate
+
+
+def cap_t(graph, visit_rate: float, cap: int) -> int:
+    """The paper's t for ``visit_rate``, capped for reproduction scale."""
+    return min(switches_for_visit_rate(graph.num_edges, visit_rate), cap)
+
+
+@pytest.fixture(scope="session")
+def miami():
+    return load_dataset("miami")
+
+
+@pytest.fixture(scope="session")
+def flickr():
+    return load_dataset("flickr")
+
+
+@pytest.fixture(scope="session")
+def livejournal():
+    return load_dataset("livejournal")
+
+
+@pytest.fixture(scope="session")
+def erdos_renyi():
+    return load_dataset("erdos_renyi")
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    return load_dataset("small_world")
+
+
+@pytest.fixture(scope="session")
+def pa_100m():
+    return load_dataset("pa_100m")

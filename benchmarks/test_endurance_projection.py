@@ -1,0 +1,49 @@
+"""Section 4.7's endurance claim: 115B switches on a 10B-edge PA graph
+in under 3 hours on 1024 processors.
+
+Reproduction: run the same experiment at reduced scale on the pa_1b
+stand-in, measure the per-operation cost of the simulated machine, and
+project the paper-scale workload (1 cost unit calibrated as 1 µs —
+the scale of the default CostModel constants).
+"""
+
+from repro.datasets import load_dataset
+from repro.experiments import print_table
+from repro.experiments.projection import (
+    PAPER_HOURS,
+    PAPER_RANKS,
+    PAPER_SWITCHES,
+    project_endurance,
+)
+
+
+def test_endurance_projection(benchmark):
+    g = load_dataset("pa_1b")
+    proj = project_endurance(g, ranks=64, t=20_000, step_size=2_000, seed=0)
+    print_table(
+        "Endurance projection — 115B switches / 10B edges / 1024 ranks",
+        ["quantity", "value"],
+        [
+            ("measured switches", proj.measured_switches),
+            ("measured ranks", proj.measured_ranks),
+            ("measured sim time", f"{proj.measured_sim_time:.0f}"),
+            ("cost units / switch / rank", f"{proj.cost_per_switch:.2f}"),
+            ("projected sim time @1024 ranks",
+             f"{proj.projected_sim_time:.3g}"),
+            ("projected hours (1 unit = 1 us)",
+             f"{proj.projected_hours_at_1us:.2f}"),
+            ("paper budget (hours)", PAPER_HOURS),
+            ("within budget", proj.within_paper_budget),
+        ],
+    )
+    print(f"(paper: {PAPER_SWITCHES/1e9:.0f}B switches on "
+          f"{PAPER_RANKS} ranks in < {PAPER_HOURS} hours)")
+    assert proj.measured_switches == 20_000
+    # the projected figure must land in the paper's order of magnitude
+    # (hours, not minutes or days)
+    assert 0.1 < proj.projected_hours_at_1us < 30.0
+
+    benchmark.pedantic(
+        lambda: project_endurance(g, ranks=32, t=5_000, step_size=1_000,
+                                  seed=1),
+        rounds=1, iterations=1)

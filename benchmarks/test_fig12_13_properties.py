@@ -1,0 +1,70 @@
+"""Figures 12–13: how network properties change with edge switching.
+
+Paper: the average clustering coefficient and average shortest-path
+distance change with visit rate in exactly the same way under the
+sequential and parallel algorithms (Miami / LiveJournal / Flickr,
+s = 2M).  Clustering decays toward the random-graph level as structure
+is destroyed; path length changes accordingly.
+"""
+
+from repro.experiments import print_table, property_trajectory
+from repro.graphs.metrics import average_clustering, average_shortest_path
+from repro.util.rng import RngStream
+
+from conftest import cap_t
+
+RATES = [0.25, 0.5, 0.75, 1.0]
+T_CAP = 25_000
+
+
+def clustering_metric(g):
+    return average_clustering(g, RngStream(0), samples=250)
+
+
+def path_metric(g):
+    return average_shortest_path(g, RngStream(0), sources=40)
+
+
+def test_fig12_clustering_vs_visit_rate(benchmark, miami, flickr):
+    rows = []
+    for name, g in (("miami", miami), ("flickr", flickr)):
+        seq = property_trajectory(g, RATES, clustering_metric,
+                                  mode="sequential", seed=0)
+        par = property_trajectory(g, RATES, clustering_metric,
+                                  mode="parallel", p=8, seed=0)
+        base = clustering_metric(g)
+        for (x, cs), (_, cp) in zip(seq, par):
+            rows.append((name, x, f"{base:.3f}", f"{cs:.3f}", f"{cp:.3f}"))
+        # same trajectory under both algorithms
+        for (x, cs), (_, cp) in zip(seq, par):
+            assert abs(cs - cp) < 0.05, f"{name} diverges at x={x}"
+        # switching destroys clustering
+        assert seq[-1][1] < 0.5 * base
+    print_table(
+        "Fig. 12 — avg clustering coefficient vs visit rate",
+        ["graph", "x", "initial", "sequential", "parallel"], rows)
+    print("(paper: sequential and parallel curves coincide)")
+
+    benchmark.pedantic(
+        lambda: property_trajectory(miami, [0.5], clustering_metric,
+                                    mode="sequential", seed=1),
+        rounds=1, iterations=1)
+
+
+def test_fig13_path_length_vs_visit_rate(benchmark, miami):
+    seq = property_trajectory(miami, RATES, path_metric,
+                              mode="sequential", seed=2)
+    par = property_trajectory(miami, RATES, path_metric,
+                              mode="parallel", p=8, seed=2)
+    base = path_metric(miami)
+    rows = [("miami", x, f"{base:.3f}", f"{ps:.3f}", f"{pp:.3f}")
+            for (x, ps), (_, pp) in zip(seq, par)]
+    print_table(
+        "Fig. 13 — avg shortest-path distance vs visit rate "
+        "(BFS-sampled, as in the paper)",
+        ["graph", "x", "initial", "sequential", "parallel"], rows)
+    print("(paper: curves coincide; small variation from sampling)")
+    for (x, ps), (_, pp) in zip(seq, par):
+        assert abs(ps - pp) / ps < 0.1, f"diverges at x={x}"
+
+    benchmark.pedantic(lambda: path_metric(miami), rounds=1, iterations=1)

@@ -1,0 +1,41 @@
+"""Figure 14: strong scaling of the HP-U parallel algorithm on eight
+graphs.
+
+Paper: universal hashing gives good speedup on every graph (110 at 640
+ranks on New York); HP schemes also work with a single step.  The
+reproduction runs the same sweep as Fig. 4 with scheme = HP-U and a
+single step (the paper's headline refinement for hash partitioning).
+"""
+
+from repro.core.parallel.driver import parallel_edge_switch
+from repro.datasets.catalog import STRONG_SCALING_SET
+from repro.datasets import load_dataset
+from repro.experiments import print_table, strong_scaling
+
+from conftest import cap_t
+
+RANKS = [1, 4, 16, 64]
+T_CAP = 12_000
+
+
+def test_fig14_strong_scaling_hpu(benchmark):
+    rows = []
+    for name in STRONG_SCALING_SET:
+        g = load_dataset(name)
+        t = cap_t(g, 1.0, T_CAP)
+        # HP schemes can run in ONE step (Section 5.2 finding)
+        pts = strong_scaling(g, RANKS, scheme="hp-u", t=t,
+                             step_size=t, seed=0)
+        rows.append([name] + [f"{pt.speedup:.2f}" for pt in pts])
+        assert pts[-1].speedup > 1.5, f"{name} failed to scale under HP-U"
+    print_table(
+        "Fig. 14 — strong scaling, HP-U scheme, single step (speedup vs p)",
+        ["graph"] + [f"p={p}" for p in RANKS], rows)
+    print("(paper: good speedup on all eight graphs; max 110 at p=640)")
+
+    g = load_dataset("new_york")
+    t = cap_t(g, 1.0, T_CAP)
+    benchmark.pedantic(
+        lambda: parallel_edge_switch(g, 16, t=t, step_size=t,
+                                     scheme="hp-u", seed=0),
+        rounds=1, iterations=1)

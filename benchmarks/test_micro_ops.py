@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the library's hot paths.
+
+Not tied to a paper figure; these watch the constants that every
+experiment depends on: sequential switch throughput, sampling,
+partition construction, and the simulator's message throughput.
+"""
+
+from repro.core.sequential import sequential_edge_switch
+from repro.graphs.generators import erdos_renyi_gnm
+from repro.graphs.reduced import ReducedAdjacencyGraph
+from repro.mpsim import SimulatedCluster
+from repro.partition import ConsecutivePartitioner, build_partitions
+from repro.rvgen.multinomial import multinomial_conditional
+from repro.util.rng import RngStream
+
+
+def test_bench_sequential_switch_throughput(benchmark, miami):
+    rng = RngStream(0)
+    result = benchmark(lambda: sequential_edge_switch(miami, 2000, rng))
+    assert result.switches == 2000
+
+
+def test_bench_edge_sampling(benchmark, miami):
+    reduced = ReducedAdjacencyGraph.from_simple(miami)
+    rng = RngStream(1)
+
+    def sample_many():
+        for _ in range(10_000):
+            reduced.sample_edge(rng)
+
+    benchmark(sample_many)
+
+
+def test_bench_multinomial_draw(benchmark):
+    rng = RngStream(2)
+    probs = [1 / 64] * 64
+    counts = benchmark(lambda: multinomial_conditional(50_000, probs, rng))
+    assert sum(counts) == 50_000
+
+
+def test_bench_partition_build(benchmark, miami):
+    def build():
+        cp = ConsecutivePartitioner(miami, 64)
+        return build_partitions(miami, cp)
+
+    parts = benchmark(build)
+    assert sum(p.num_edges for p in parts) == miami.num_edges
+
+
+def test_bench_simulator_message_throughput(benchmark):
+    """Ping-pong: events through the DES per second."""
+    def prog(ctx):
+        other = 1 - ctx.rank
+        for i in range(2_000):
+            if ctx.rank == 0:
+                yield from ctx.send(other, 1, i)
+                yield from ctx.recv()
+            else:
+                msg = yield from ctx.recv()
+                yield from ctx.send(other, 1, msg.payload)
+        return None
+
+    benchmark.pedantic(
+        lambda: SimulatedCluster(2, seed=0).run(prog),
+        rounds=1, iterations=1)
+
+
+def test_bench_graph_generation(benchmark):
+    g = benchmark(lambda: erdos_renyi_gnm(2000, 20_000, RngStream(3)))
+    assert g.num_edges == 20_000

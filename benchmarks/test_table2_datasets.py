@@ -1,0 +1,40 @@
+"""Table 2: the dataset inventory — paper scale vs reproduction scale.
+
+Regenerates the table with both the paper's reported sizes and the
+stand-ins actually used, plus the structural statistics (max degree,
+clustering) that drive the load-balance findings.
+"""
+
+from repro.datasets import DATASETS, load_dataset
+from repro.experiments import print_table
+from repro.graphs.metrics import average_clustering, degree_summary
+from repro.util.rng import RngStream
+
+
+def test_table2_datasets(benchmark):
+    rows = []
+    for name, ds in DATASETS.items():
+        g = load_dataset(name)
+        deg = degree_summary(g)
+        cc = average_clustering(g, RngStream(0), samples=300)
+        rows.append((
+            name, ds.kind,
+            f"{ds.paper_vertices/1e6:.2f}M", f"{ds.paper_edges/1e6:.0f}M",
+            f"{ds.paper_avg_degree:.1f}",
+            g.num_vertices, g.num_edges,
+            f"{deg['avg']:.1f}", f"{deg['max']:.0f}", f"{cc:.3f}",
+        ))
+    print_table(
+        "Table 2 — datasets (paper scale vs reproduction stand-ins)",
+        ["network", "type", "paper n", "paper m", "paper deg",
+         "n", "m", "deg", "maxdeg", "cc"],
+        rows,
+    )
+    # structural sanity assertions backing the substitutions
+    contact_cc = [r for r in rows if r[0] == "miami"][0][-1]
+    er_cc = [r for r in rows if r[0] == "erdos_renyi"][0][-1]
+    assert float(contact_cc) > 5 * float(er_cc)  # contact nets cluster
+
+    benchmark.pedantic(
+        lambda: load_dataset("miami", seed=99).num_edges,
+        rounds=1, iterations=1)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Constrained switching variants — the paper's Section 1 application
+zoo in one script.
+
+Four degree-preserving rewiring modes on the same inputs:
+
+1. plain switching (randomise everything but degrees);
+2. connectivity-preserving (NetworkX-style constraint);
+3. bipartite-preserving (bidegree-sequence sampling);
+4. JDD-preserving (fix the joint degree matrix, ref. [7]);
+
+plus assortativity-targeted rewiring, which *drives* a structure
+statistic instead of preserving it.
+
+Run:  python examples/constrained_switching.py
+"""
+
+from repro.core.jdd import jdd_distance, jdd_preserving_switch, joint_degree_matrix
+from repro.core.sequential import sequential_edge_switch
+from repro.core.variants import (
+    bipartite_edge_switch,
+    connected_edge_switch,
+    targeted_assortativity_switch,
+)
+from repro.graphs.generators import bipartite_gnm, community_network, watts_strogatz
+from repro.graphs.metrics import connected_components, degree_assortativity
+from repro.util.rng import RngStream
+
+
+def main():
+    # -- plain vs connectivity-preserving ------------------------------
+    # a near-ring (degree ~2) fragments easily under plain switching
+    ring = watts_strogatz(200, 2, 0.02, RngStream(1))
+    plain = sequential_edge_switch(ring, 400, RngStream(4))
+    connected = connected_edge_switch(ring, 400, RngStream(4))
+    plain_comps = len(connected_components(
+        plain.to_simple(ring.num_vertices)))
+    conn_comps = len(connected_components(
+        connected.to_simple(ring.num_vertices)))
+    print("sparse ring lattice, 400 switches:")
+    print(f"  plain switching     -> {plain_comps} components")
+    print(f"  connected variant   -> {conn_comps} component(s), "
+          f"{connected.disconnect_rollbacks} rollbacks")
+
+    # -- bipartite-preserving -------------------------------------------
+    bip, left = bipartite_gnm(40, 50, 260, RngStream(3))
+    bres = bipartite_edge_switch(bip, left, 800, RngStream(4))
+    crossing = all((u < 40) != (v < 40) for u, v in bres.graph.edges())
+    print(f"\nbipartite graph, 800 switches: bipartition preserved: "
+          f"{crossing}, visit rate {bres.visit_rate:.2f}")
+
+    # -- JDD-preserving ---------------------------------------------------
+    net = community_network(200, 4, 0.5, RngStream(5))
+    jdd0 = joint_degree_matrix(net)
+    jres = jdd_preserving_switch(net, 150, RngStream(6))
+    moved = sequential_edge_switch(net, 150, RngStream(6))
+    print(f"\nheavy-tailed graph, 150 switches:")
+    print(f"  JDD-preserving variant: JDD distance = "
+          f"{jdd_distance(jdd0, joint_degree_matrix(jres.graph))}")
+    print(f"  plain switching:        JDD distance = "
+          f"{jdd_distance(jdd0, joint_degree_matrix(moved.to_simple(net.num_vertices)))}")
+
+    # -- assortativity targeting -------------------------------------------
+    up = targeted_assortativity_switch(net, 400, RngStream(7), "increase")
+    down = targeted_assortativity_switch(net, 400, RngStream(7), "decrease")
+    print(f"\nassortativity targeting from r = {up.initial_r:+.3f}:")
+    print(f"  increase -> r = {up.final_r:+.3f}")
+    print(f"  decrease -> r = {down.final_r:+.3f}")
+    print(f"  (degrees identical in all cases: "
+          f"{up.graph.degree_sequence() == net.degree_sequence()})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Distributed graph analytics on the simulated cluster.
+
+The same message-passing machine that runs the switching protocol also
+runs classic distributed graph algorithms — the paper's closing claim
+that the machinery generalises.  This example computes a degree
+histogram, the exact average clustering coefficient, and BFS-based
+average path length on 16 simulated ranks, and checks them against the
+serial metrics.
+
+Run:  python examples/distributed_analytics.py
+"""
+
+from repro.graphs.distributed import (
+    distributed_average_clustering,
+    distributed_bfs_distances,
+    distributed_degree_histogram,
+)
+from repro.graphs.generators import contact_network
+from repro.graphs.metrics import average_clustering
+from repro.partition import UniversalHashPartitioner
+from repro.util.rng import RngStream
+
+
+def main():
+    graph = contact_network(600, RngStream(seed=8))
+    p = 16
+    part = UniversalHashPartitioner(graph.num_vertices, p,
+                                    rng=RngStream(seed=9))
+    print(f"graph: n={graph.num_vertices}, m={graph.num_edges}; "
+          f"machine: {p} simulated ranks (HP-U layout)")
+
+    hist = distributed_degree_histogram(graph, part)
+    top = max(range(len(hist)), key=lambda d: hist[d])
+    print(f"degree histogram: {sum(hist)} vertices, "
+          f"mode degree {top} ({hist[top]} vertices)")
+
+    cc_par = distributed_average_clustering(graph, part)
+    cc_ser = average_clustering(graph)
+    print(f"clustering coefficient: distributed {cc_par:.6f} "
+          f"vs serial {cc_ser:.6f} (exact match: "
+          f"{abs(cc_par - cc_ser) < 1e-12})")
+
+    sources = [0, 100, 200, 300]
+    total, pairs = distributed_bfs_distances(graph, part, sources)
+    print(f"BFS from {len(sources)} sources: average path "
+          f"{total / pairs:.4f} over {pairs} reachable pairs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Sensitivity of network structure to randomisation — the epidemic
+modelling motivation (paper Section 1, Figs. 12–13).
+
+Contact networks carry disease dynamics; edge switching measures how
+much of that dynamics is due to *structure* beyond the degree
+sequence.  This example tracks clustering and path length as
+progressively larger fractions of a contact network are rewired, with
+the sequential and parallel algorithms side by side.
+
+Run:  python examples/network_dynamics.py
+"""
+
+from repro.experiments import print_table, property_trajectory
+from repro.graphs.generators import contact_network
+from repro.graphs.metrics import average_clustering, average_shortest_path
+from repro.util.rng import RngStream
+
+
+def main():
+    graph = contact_network(700, RngStream(seed=5))
+    cc0 = average_clustering(graph)
+    sp0 = average_shortest_path(graph, RngStream(0), sources=60)
+    print(f"contact network: n={graph.num_vertices}, m={graph.num_edges}")
+    print(f"initial: clustering={cc0:.3f}, avg path={sp0:.3f}")
+
+    rates = [0.2, 0.4, 0.6, 0.8, 1.0]
+    cc = lambda g: average_clustering(g, RngStream(1), samples=250)
+    sp = lambda g: average_shortest_path(g, RngStream(1), sources=50)
+
+    cc_seq = property_trajectory(graph, rates, cc, mode="sequential", seed=6)
+    cc_par = property_trajectory(graph, rates, cc, mode="parallel", p=8,
+                                 seed=6)
+    sp_seq = property_trajectory(graph, rates, sp, mode="sequential", seed=7)
+    sp_par = property_trajectory(graph, rates, sp, mode="parallel", p=8,
+                                 seed=7)
+
+    print_table(
+        "structure vs visit rate (sequential | parallel)",
+        ["visit rate", "clust seq", "clust par", "path seq", "path par"],
+        [(x, f"{cs:.3f}", f"{cp:.3f}", f"{ps:.3f}", f"{pp:.3f}")
+         for (x, cs), (_, cp), (_, ps), (_, pp)
+         in zip(cc_seq, cc_par, sp_seq, sp_par)],
+    )
+    final_cc = cc_seq[-1][1]
+    print(f"\nfull rewiring destroys {100 * (1 - final_cc / cc0):.0f}% of "
+          "the clustering while preserving every degree —")
+    print("whatever dynamics change with it was carried by structure, "
+          "not by degrees.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: switch edges sequentially and in parallel.
+
+Builds a small clustered contact network, computes the number of switch
+operations for a target visit rate (paper eq. 4), runs the sequential
+algorithm (Algorithm 1), then runs the distributed algorithm on a
+simulated 8-rank machine and verifies both produce a simple graph with
+the original degree sequence.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    SimpleGraph,
+    parallel_edge_switch,
+    sequential_edge_switch,
+    switches_for_visit_rate,
+)
+from repro.graphs.generators import contact_network
+from repro.graphs.metrics import average_clustering
+from repro.util.rng import RngStream
+
+
+def main():
+    rng = RngStream(seed=1)
+    graph = contact_network(800, rng)
+    print(f"input graph: n={graph.num_vertices}, m={graph.num_edges}, "
+          f"clustering={average_clustering(graph):.3f}")
+
+    # How many switch operations to touch 90% of the edges?
+    x = 0.9
+    t = switches_for_visit_rate(graph.num_edges, x)
+    print(f"target visit rate x={x} -> t={t} switch operations")
+
+    # --- sequential (Algorithm 1) -----------------------------------
+    seq = sequential_edge_switch(graph, t, RngStream(seed=2))
+    final_seq = seq.to_simple(graph.num_vertices)
+    assert final_seq.degree_sequence() == graph.degree_sequence()
+    print(f"sequential: visit rate {seq.visit_rate:.4f} "
+          f"({seq.attempts - seq.switches} rejected attempts), "
+          f"clustering now {average_clustering(final_seq):.3f}")
+
+    # --- parallel, 8 simulated ranks, CP partitioning ----------------
+    par = parallel_edge_switch(graph, num_ranks=8, t=t, scheme="cp", seed=3)
+    assert par.graph.degree_sequence() == graph.degree_sequence()
+    par.graph.check_invariants()
+    print(f"parallel (p=8, CP): visit rate {par.visit_rate:.4f}, "
+          f"simulated time {par.sim_time:.0f} cost units, "
+          f"{par.run.total_messages} messages")
+    local = sum(r.local_switches for r in par.reports)
+    print(f"  {local} local + {t - local} global switch operations")
+    print("degree sequence preserved by both algorithms — done.")
+
+
+if __name__ == "__main__":
+    main()

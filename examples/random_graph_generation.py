@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Random graphs with a prescribed degree sequence — the paper's
+headline application (Section 1).
+
+Pipeline: take a degree sequence (here: from a heavy-tailed community
+network), realise it deterministically with Havel–Hakimi, then
+randomise with edge switches.  Havel–Hakimi alone always yields the
+same highly-assortative graph; switching samples (approximately
+uniformly) from the space of graphs with that degree sequence.
+
+Run:  python examples/random_graph_generation.py
+"""
+
+from repro import havel_hakimi, sequential_edge_switch, switches_for_visit_rate
+from repro.graphs.degree import is_graphical
+from repro.graphs.generators import community_network
+from repro.graphs.metrics import average_clustering, degree_summary
+from repro.util.rng import RngStream
+
+
+def main():
+    # A target degree sequence with a heavy tail.
+    template = community_network(600, 6, 0.7, RngStream(seed=4))
+    degrees = template.degree_sequence()
+    assert is_graphical(degrees)
+    ds = degree_summary(template)
+    print(f"target degree sequence: n={len(degrees)}, "
+          f"sum={sum(degrees)}, max={ds['max']:.0f}, avg={ds['avg']:.1f}")
+
+    # Deterministic realisation.
+    hh = havel_hakimi(degrees)
+    print(f"Havel-Hakimi realisation: m={hh.num_edges}, "
+          f"clustering={average_clustering(hh):.3f} "
+          "(always the same graph!)")
+
+    # Randomise: visit every edge once in expectation.
+    t = switches_for_visit_rate(hh.num_edges, 1.0)
+    print(f"randomising with t={t} switch operations (visit rate 1.0)")
+
+    samples = []
+    for seed in range(3):
+        res = sequential_edge_switch(hh, t, RngStream(seed=100 + seed))
+        final = res.to_simple(hh.num_vertices)
+        assert final.degree_sequence() == degrees  # invariant!
+        cc = average_clustering(final)
+        samples.append((sorted(final.edges()), cc))
+        print(f"  sample {seed}: clustering={cc:.3f}, "
+              f"visit rate={res.visit_rate:.3f}")
+
+    # Different runs give different graphs — that is the point.
+    assert samples[0][0] != samples[1][0] != samples[2][0]
+    print("three distinct random graphs, one degree sequence — done.")
+
+
+if __name__ == "__main__":
+    main()

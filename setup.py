@@ -1,0 +1,23 @@
+"""Setuptools entry point.
+
+The pinned environment has no ``wheel`` package and no network, so
+PEP 660 editable installs (which build a wheel) fail; this classic
+``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``develop`` path that works offline.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Parallel edge-switching algorithms for heterogeneous graphs "
+        "(ICPP 2014 / JPDC reproduction)"
+    ),
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.20"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

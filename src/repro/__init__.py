@@ -1,0 +1,42 @@
+"""repro — parallel edge-switching algorithms for heterogeneous graphs.
+
+A from-scratch Python reproduction of Bhuiyan, Khan, Chen & Marathe,
+*"Fast Parallel Algorithms for Edge-Switching to Achieve a Target Visit
+Rate in Heterogeneous Graphs"* (ICPP 2014; extended JPDC version).
+
+Quickstart::
+
+    from repro import SimpleGraph, sequential_edge_switch, switches_for_visit_rate
+    from repro.util.rng import RngStream
+
+    g = SimpleGraph.from_edges(4, [(0, 1), (2, 3), (0, 2), (1, 3)])
+    t = switches_for_visit_rate(g.num_edges, 0.5)
+    result = sequential_edge_switch(g, t, RngStream(42))
+
+See README.md for the full tour and DESIGN.md for the architecture.
+"""
+
+from repro.errors import ReproError
+from repro.graphs import SimpleGraph, ReducedAdjacencyGraph, havel_hakimi
+from repro.util.harmonic import switches_for_visit_rate, expected_selections
+from repro.core.sequential import sequential_edge_switch
+from repro.core.parallel.driver import parallel_edge_switch, ParallelSwitchConfig
+from repro.mpsim import SimulatedCluster, ThreadCluster, CostModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "SimpleGraph",
+    "ReducedAdjacencyGraph",
+    "havel_hakimi",
+    "switches_for_visit_rate",
+    "expected_selections",
+    "sequential_edge_switch",
+    "parallel_edge_switch",
+    "ParallelSwitchConfig",
+    "SimulatedCluster",
+    "ThreadCluster",
+    "CostModel",
+    "__version__",
+]

@@ -1,0 +1,126 @@
+"""Command-line interface.
+
+::
+
+    python -m repro switch --dataset miami --ranks 32 --scheme hp-u \
+        --visit-rate 0.9
+    python -m repro scaling --dataset flickr --scheme cp --ranks 1,4,16
+    python -m repro datasets
+    python -m repro experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.parallel.driver import parallel_edge_switch
+from repro.datasets import DATASETS, load_dataset
+from repro.experiments import print_series, print_table, strong_scaling
+from repro.experiments.registry import EXPERIMENTS
+from repro.graphs.metrics import degree_summary
+from repro.util.harmonic import switches_for_visit_rate
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel edge switching (ICPP 2014 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sw = sub.add_parser("switch", help="run one parallel switching job")
+    sw.add_argument("--dataset", default="miami", choices=sorted(DATASETS))
+    sw.add_argument("--ranks", type=int, default=8)
+    sw.add_argument("--scheme", default="cp",
+                    choices=["cp", "hp-d", "hp-m", "hp-u"])
+    sw.add_argument("--visit-rate", type=float, default=None)
+    sw.add_argument("--switches", type=int, default=None,
+                    help="explicit t (overrides --visit-rate)")
+    sw.add_argument("--step-size", type=int, default=None)
+    sw.add_argument("--seed", type=int, default=0)
+    sw.add_argument("--backend", default="sim", choices=["sim", "threads"])
+
+    sc = sub.add_parser("scaling", help="strong-scaling sweep")
+    sc.add_argument("--dataset", default="miami", choices=sorted(DATASETS))
+    sc.add_argument("--scheme", default="cp",
+                    choices=["cp", "hp-d", "hp-m", "hp-u"])
+    sc.add_argument("--ranks", default="1,4,16,64",
+                    help="comma-separated rank counts")
+    sc.add_argument("--switches", type=int, default=10_000)
+    sc.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("datasets", help="list the dataset catalog")
+    sub.add_parser("experiments", help="list the reproducible experiments")
+    return parser
+
+
+def _cmd_switch(args) -> int:
+    graph = load_dataset(args.dataset)
+    t = args.switches
+    if t is None:
+        x = args.visit_rate if args.visit_rate is not None else 1.0
+        t = switches_for_visit_rate(graph.num_edges, x)
+    res = parallel_edge_switch(
+        graph, args.ranks, t=t, step_size=args.step_size,
+        scheme=args.scheme, seed=args.seed, backend=args.backend)
+    print(f"dataset={args.dataset} n={graph.num_vertices} "
+          f"m={graph.num_edges} t={t}")
+    print(f"scheme={res.scheme} ranks={args.ranks} backend={args.backend}")
+    print(f"switches completed: {res.switches_completed} "
+          f"(forfeited {res.forfeited})")
+    print(f"visit rate achieved: {res.visit_rate:.4f}")
+    print(f"simulated time: {res.sim_time:.0f} cost units; "
+          f"messages: {res.run.total_messages}")
+    res.graph.check_invariants()
+    assert res.graph.degree_sequence() == graph.degree_sequence()
+    print("invariants verified: graph simple, degree sequence preserved")
+    return 0
+
+
+def _cmd_scaling(args) -> int:
+    graph = load_dataset(args.dataset)
+    ranks = [int(tok) for tok in args.ranks.split(",") if tok]
+    points = strong_scaling(graph, ranks, scheme=args.scheme,
+                            t=args.switches, step_fraction=0.1,
+                            seed=args.seed)
+    print_series(f"strong scaling — {args.dataset} / {args.scheme}", points)
+    return 0
+
+
+def _cmd_datasets(args) -> int:
+    rows = []
+    for name, ds in DATASETS.items():
+        g = load_dataset(name)
+        deg = degree_summary(g)
+        rows.append((name, ds.kind, g.num_vertices, g.num_edges,
+                     f"{deg['avg']:.1f}"))
+    print_table("datasets", ["name", "type", "n", "m", "avg deg"], rows)
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    rows = [(e.label, e.claim, f"benchmarks/{e.bench}")
+            for e in EXPERIMENTS.values()]
+    print_table("reproducible experiments",
+                ["paper label", "claim", "bench"], rows)
+    return 0
+
+
+_COMMANDS = {
+    "switch": _cmd_switch,
+    "scaling": _cmd_scaling,
+    "datasets": _cmd_datasets,
+    "experiments": _cmd_experiments,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""The paper's primary contribution: sequential and parallel edge
+switching with simple-graph constraints and target visit rates."""
+
+from repro.core.constraints import SwitchKind, propose_switch, FailureReason
+from repro.core.sequential import sequential_edge_switch, SequentialResult
+from repro.core.similarity import block_matrix, edge_difference, error_rate
+from repro.core.visit_rate import VisitTracker
+
+__all__ = [
+    "SwitchKind",
+    "propose_switch",
+    "FailureReason",
+    "sequential_edge_switch",
+    "SequentialResult",
+    "block_matrix",
+    "edge_difference",
+    "error_rate",
+    "VisitTracker",
+]

@@ -1,0 +1,222 @@
+"""One-call public API for parallel edge switching.
+
+Wires together: partitioning scheme → per-rank partitions → simulated
+(or threaded) cluster → SPMD rank program → reassembled result graph
+plus the statistics every experiment consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.core.parallel.rank_program import switch_rank_program
+from repro.core.parallel.state import RankReport
+from repro.errors import ConfigurationError
+from repro.graphs.graph import SimpleGraph
+from repro.graphs.reduced import ReducedAdjacencyGraph
+from repro.mpsim.cluster import RunResult, SimulatedCluster
+from repro.mpsim.costmodel import CostModel
+from repro.mpsim.procs import ProcessCluster
+from repro.mpsim.threads import ThreadCluster
+from repro.partition.base import Partitioner, build_partitions
+from repro.partition.consecutive import ConsecutivePartitioner
+from repro.partition.hashed import (
+    DivisionHashPartitioner,
+    MultiplicationHashPartitioner,
+    UniversalHashPartitioner,
+)
+from repro.util.harmonic import switches_for_visit_rate
+from repro.util.rng import RngStream
+
+__all__ = [
+    "ParallelSwitchConfig",
+    "PerRankArgs",
+    "ParallelSwitchResult",
+    "make_partitioner",
+    "parallel_edge_switch",
+]
+
+#: Scheme names accepted by :func:`make_partitioner`.
+SCHEMES = ("cp", "hp-d", "hp-m", "hp-u")
+
+
+@dataclass(frozen=True)
+class ParallelSwitchConfig:
+    """Run parameters shared by every rank."""
+
+    #: Total switch operations ``t``.
+    t: int
+    #: Operations per step ``s`` (Section 4.5's step-size).
+    step_size: int
+    #: Machine constants used for simulated compute charging.
+    cost: CostModel = field(default_factory=CostModel)
+    #: Step-budget guard multiplier (forfeit pathologies).
+    max_steps_factor: int = 3
+    #: Give up one operation after this many consecutive failed
+    #: attempts (degenerate graphs).
+    consecutive_failure_limit: int = 10_000
+    #: Ship each rank's final edge list back in its report (needed by
+    #: backends without shared memory).
+    collect_edges: bool = False
+
+    def __post_init__(self):
+        if self.t < 0:
+            raise ConfigurationError(f"t must be >= 0, got {self.t}")
+        if self.step_size < 1:
+            raise ConfigurationError(
+                f"step size must be >= 1, got {self.step_size}")
+
+
+@dataclass(frozen=True)
+class PerRankArgs:
+    """What each rank receives via its context."""
+
+    partition: ReducedAdjacencyGraph
+    partitioner: Partitioner
+    config: ParallelSwitchConfig
+
+
+@dataclass
+class ParallelSwitchResult:
+    """Outcome of a parallel switching run."""
+
+    #: Final graph, reassembled from all partitions.
+    graph: SimpleGraph
+    #: Per-rank statistics, rank order.
+    reports: List[RankReport]
+    #: The backend's run result (simulated time, traces).
+    run: RunResult
+    #: Scheme name used ("CP", "HP-U", ...).
+    scheme: str
+    #: The configuration executed.
+    config: ParallelSwitchConfig
+
+    @property
+    def sim_time(self) -> float:
+        """Simulated makespan (cost units)."""
+        return self.run.sim_time
+
+    @property
+    def switches_completed(self) -> int:
+        return sum(r.switches_completed for r in self.reports)
+
+    @property
+    def forfeited(self) -> int:
+        return sum(r.forfeited for r in self.reports)
+
+    @property
+    def visit_rate(self) -> float:
+        total = sum(r.initial_count for r in self.reports)
+        if total == 0:
+            return 0.0
+        return sum(r.visited_count for r in self.reports) / total
+
+    @property
+    def workload_per_rank(self) -> List[int]:
+        """Switch operations assigned per rank (Figs. 19–21)."""
+        return [r.assigned_total for r in self.reports]
+
+    @property
+    def final_edges_per_rank(self) -> List[int]:
+        """|E_i| after the run (Fig. 18)."""
+        return [r.final_edges for r in self.reports]
+
+
+def make_partitioner(
+    scheme: Union[str, Partitioner],
+    graph: SimpleGraph,
+    num_ranks: int,
+    rng: Optional[RngStream] = None,
+) -> Partitioner:
+    """Build a partitioner from a scheme name (or pass one through)."""
+    if isinstance(scheme, Partitioner):
+        return scheme
+    name = scheme.lower()
+    if name == "cp":
+        return ConsecutivePartitioner(graph, num_ranks)
+    if name == "hp-d":
+        return DivisionHashPartitioner(graph.num_vertices, num_ranks)
+    if name == "hp-m":
+        return MultiplicationHashPartitioner(graph.num_vertices, num_ranks)
+    if name == "hp-u":
+        if rng is None:
+            rng = RngStream(0)
+        return UniversalHashPartitioner(graph.num_vertices, num_ranks, rng=rng)
+    raise ConfigurationError(
+        f"unknown scheme {scheme!r}; expected one of {SCHEMES} "
+        "or a Partitioner instance")
+
+
+def parallel_edge_switch(
+    graph: SimpleGraph,
+    num_ranks: int,
+    *,
+    visit_rate: Optional[float] = None,
+    t: Optional[int] = None,
+    step_size: Optional[int] = None,
+    step_fraction: float = 0.01,
+    scheme: Union[str, Partitioner] = "cp",
+    seed: Optional[int] = 0,
+    cost_model: Optional[CostModel] = None,
+    backend: str = "sim",
+) -> ParallelSwitchResult:
+    """Switch edges of ``graph`` on a ``num_ranks``-processor machine.
+
+    Exactly one of ``visit_rate`` / ``t`` selects the amount of work;
+    ``step_size`` defaults to ``max(1, t * step_fraction)`` — the
+    paper's evaluation default is ``s = t/100``.  ``backend`` is
+    ``"sim"`` (discrete-event, simulated time), ``"threads"`` (real
+    threads, wall time) or ``"procs"`` (real OS processes, wall time);
+    the latter two are for correctness testing at small ``p``.
+
+    The input graph is not modified.
+    """
+    if (visit_rate is None) == (t is None):
+        raise ConfigurationError("pass exactly one of visit_rate / t")
+    if t is None:
+        t = switches_for_visit_rate(graph.num_edges, visit_rate)
+    if step_size is None:
+        step_size = max(1, int(t * step_fraction))
+    cost = cost_model if cost_model is not None else CostModel()
+    config = ParallelSwitchConfig(
+        t=t, step_size=step_size, cost=cost,
+        # workers have their own memory: results must travel in reports
+        collect_edges=(backend == "procs"),
+    )
+
+    scheme_rng = RngStream(None if seed is None else seed + 1)
+    partitioner = make_partitioner(scheme, graph, num_ranks, scheme_rng)
+    partitions = build_partitions(graph, partitioner)
+    per_rank = [PerRankArgs(part, partitioner, config) for part in partitions]
+
+    if backend == "sim":
+        cluster = SimulatedCluster(num_ranks, cost, seed=seed)
+    elif backend == "threads":
+        cluster = ThreadCluster(num_ranks, seed=seed)
+    elif backend == "procs":
+        cluster = ProcessCluster(num_ranks, seed=seed)
+    else:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; expected 'sim', 'threads' "
+            "or 'procs'")
+
+    run = cluster.run(switch_rank_program, per_rank_args=per_rank)
+
+    final = SimpleGraph(graph.num_vertices)
+    if backend == "procs":
+        for report in run.values:
+            for u, v in report.final_edge_list:
+                final.add_edge(u, v)
+    else:
+        for part in partitions:
+            for u, v in part.edges():
+                final.add_edge(u, v)
+
+    return ParallelSwitchResult(
+        graph=final,
+        reports=list(run.values),
+        run=run,
+        scheme=partitioner.name,
+        config=config,
+    )

@@ -1,0 +1,140 @@
+"""Wire protocol of the distributed switching algorithm.
+
+Every message carries a *conversation id* ``conv = (initiator_rank,
+serial)`` identifying one switch attempt.  A conversation touches up to
+four ranks:
+
+* the **initiator** ``P_i`` holding the first edge ``e1``;
+* the **partner** ``P_j`` holding the second edge ``e2`` (may equal
+  ``P_i`` — a *local switch*);
+* the **owners** of the two replacement edges (each is the rank owning
+  the replacement's lower endpoint; may coincide with ``P_i``/``P_j``
+  or be third parties — the ``P_k`` of the paper's case analysis).
+
+Message flow of a successful global switch::
+
+    P_i --SwitchRequest(e1)--> P_j
+    P_j: select e2, pick kind, validate own edges, reserve
+    P_j --Validate--> owner --Validate--> ... --Validate--> P_i
+    P_i: validate own edges, apply local ops
+    P_i --Commit--> every other participant
+    participant: apply ops, --CommitAck--> P_i
+
+On any validation failure the failing rank sends :class:`Abort` to all
+participants that already hold state and :class:`Retry` to the
+initiator, which releases ``e1`` and restarts with a fresh pair — the
+restart rule of Section 4.4.
+
+All messages travel under one tag (:data:`TAG_PROTO`); dispatch is by
+payload type.  FIFO per channel is guaranteed by the backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.types import Edge
+
+__all__ = [
+    "TAG_PROTO",
+    "Conv",
+    "SwitchRequest",
+    "Validate",
+    "Retry",
+    "Abort",
+    "Commit",
+    "CommitAck",
+    "DoneUp",
+    "DoneAll",
+    "NBYTES",
+]
+
+#: Single tag for all protocol traffic (dispatch is on payload type).
+TAG_PROTO = 1
+
+#: Conversation id: (initiator rank, per-initiator attempt serial).
+Conv = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class SwitchRequest:
+    """Initiator → partner: "switch my ``e1`` with one of your edges"."""
+
+    conv: Conv
+    e1: Edge
+
+
+@dataclass(frozen=True)
+class Validate:
+    """Chain message: validate & reserve the replacement edges you own.
+
+    ``visited`` lists ranks already holding conversation state (for
+    aborts); ``remaining`` is the rest of the chain, initiator last.
+    """
+
+    conv: Conv
+    e1: Edge
+    e2: Edge
+    kind: str  # "cross" | "straight"
+    partner: int
+    visited: Tuple[int, ...]
+    remaining: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Retry:
+    """Any participant → initiator: attempt failed, pick a new pair."""
+
+    conv: Conv
+    reason: str  # FailureReason.value
+
+
+@dataclass(frozen=True)
+class Abort:
+    """Failure cleanup: release checkouts and reservations for ``conv``."""
+
+    conv: Conv
+
+
+@dataclass(frozen=True)
+class Commit:
+    """Initiator → participants: all checks passed, apply your ops."""
+
+    conv: Conv
+
+
+@dataclass(frozen=True)
+class CommitAck:
+    """Participant → initiator: my ops are applied."""
+
+    conv: Conv
+
+
+@dataclass(frozen=True)
+class DoneUp:
+    """Termination tree, leafward→rootward: my subtree finished its
+    step quota (all conversations fully applied and acknowledged)."""
+
+    step: int
+
+
+@dataclass(frozen=True)
+class DoneAll:
+    """Termination tree, root→leafward: the whole step is finished;
+    stop serving and proceed to the step barrier."""
+
+    step: int
+
+
+#: Approximate on-wire sizes per message type, for the cost model.
+NBYTES = {
+    SwitchRequest: 40,
+    Validate: 96,
+    Retry: 32,
+    Abort: 24,
+    Commit: 24,
+    CommitAck: 24,
+    DoneUp: 16,
+    DoneAll: 16,
+}

@@ -1,0 +1,381 @@
+"""Conversation state machine of the distributed switch (Section 4.4).
+
+Each rank plays three roles, any of which may coincide:
+
+* **initiator** — selects ``e1`` from its own partition, picks a
+  partner rank with probability ``|E_j|/|E|`` (Algorithm 2), and has at
+  most one conversation in flight at a time (the sequential-per-rank
+  discipline of Section 4.5);
+* **partner** — supplies ``e2``, decides straight vs cross with a fair
+  coin, and starts the validation chain;
+* **replacement-edge owner** — validates that a replacement edge does
+  not already exist (and is not *reserved* by a concurrent
+  conversation — the "potential edge" tracking of Section 4.5) and
+  reserves it.
+
+Consistency devices, mapping to the paper:
+
+* **checkout** — a selected edge leaves its owner's sampling pool but
+  stays visible to existence checks until commit, so two simultaneous
+  conversations can never switch the same edge;
+* **reservation** — a validated replacement edge is recorded in the
+  owner's reserved set, so the same new edge cannot be created twice
+  concurrently (the paper's four-way collision example);
+* **restart** — any failed check aborts the conversation everywhere
+  and the initiator redraws a fresh pair, exactly like the sequential
+  algorithm's rejection loop.
+
+The generalisation over the paper's prose: with hash partitioning the
+*two* replacement edges can be owned by two distinct third-party ranks,
+so a conversation may span four ranks; the validation chain simply
+visits both owners before reaching the initiator.  The paper's three
+cases (``P_k = P_j``, ``P_k = P_i``, distinct ``P_k``) are the chain's
+length-1 and length-2 specialisations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.constraints import FailureReason, SwitchKind, propose_switch
+from repro.core.parallel.messages import (
+    Abort,
+    Commit,
+    CommitAck,
+    Conv,
+    NBYTES,
+    Retry,
+    SwitchRequest,
+    TAG_PROTO,
+    Validate,
+)
+from repro.core.parallel.state import InitiatorState, RankReport, ServantState
+from repro.core.visit_rate import VisitTracker
+from repro.errors import ProtocolError
+from repro.mpsim.ops import Compute, Probe, Send
+from repro.types import Edge
+
+__all__ = ["ConversationMixin"]
+
+
+class ConversationMixin:
+    """Conversation handling; mixed into
+    :class:`~repro.core.parallel.rank_program.SwitchRank`, which
+    provides ``self.ctx``, ``self.part`` (the rank's partition),
+    ``self.owner`` (the global ownership function), ``self.cost``,
+    ``self.report``, ``self.tracker``, ``self.q`` (partner
+    probabilities) and ``self.quota``.
+    """
+
+    # These attributes are initialised by the owner class.
+    reserved: Set[Edge]
+    servant: Dict[Conv, ServantState]
+    active: Optional[InitiatorState]
+    serial: int
+    tracker: VisitTracker
+    report: RankReport
+
+    # -- helpers -----------------------------------------------------------
+
+    def _conflicts(self, edge: Edge) -> bool:
+        """Would creating ``edge`` violate simplicity here?  True if it
+        already exists or a concurrent conversation reserved it."""
+        return edge in self.reserved or self.part.has_edge(*edge)
+
+    def _group_by_owner(self, edges: Tuple[Edge, Edge]) -> Dict[int, List[Edge]]:
+        """Replacement edges grouped by owning rank (deterministic
+        insertion order)."""
+        groups: Dict[int, List[Edge]] = {}
+        for e in edges:
+            groups.setdefault(self.owner(e[0]), []).append(e)
+        return groups
+
+    def _proto(self, dest: int, payload) -> Send:
+        # Hot path: handlers yield op objects directly rather than
+        # delegating through context helper generators — each avoided
+        # sub-generator saves one frame per resume (profiled ~25%).
+        return Send(dest, TAG_PROTO, payload, NBYTES[type(payload)])
+
+    def _new_conv(self) -> Conv:
+        conv = (self.ctx.rank, self.serial)
+        self.serial += 1
+        return conv
+
+    # -- initiation ---------------------------------------------------------
+
+    def try_initiate(self):
+        """Start switch operations until one goes remote (conversation
+        in flight), the quota is exhausted, or the pool runs dry.
+
+        Fully local switches (both edges and both replacement edges
+        owned here) complete inline with zero messages.
+        """
+        me = self.ctx.rank
+        while self.quota > 0 and self.active is None:
+            # Fairness: a long streak of local switches must not starve
+            # ranks waiting for service from us — serve first.
+            if (yield Probe(tag=TAG_PROTO)):
+                return
+            if self.part.pool_size == 0:
+                # Nothing selectable; if nothing is in flight either,
+                # this step's remaining quota is unfulfillable here.
+                self.report.forfeited += self.quota
+                self.step_forfeited += self.quota
+                self.quota = 0
+                return
+            if self.consecutive_failures > self.failure_limit:
+                # Livelock guard for degenerate graphs (e.g. stars):
+                # give up one operation and keep going.  The counter is
+                # engine-wide so remote Retry storms trip it too.
+                self.report.forfeited += 1
+                self.step_forfeited += 1
+                self.quota -= 1
+                self.consecutive_failures = 0
+                continue
+            yield Compute(self.cost.switch_compute)
+            e1 = self.part.sample_edge(self.ctx.rng)
+            self.part.checkout(e1)
+            partner = self.ctx.rng.choice_weighted(self.q)
+            if partner != me:
+                conv = self._new_conv()
+                self.active = InitiatorState(conv, e1, checked_out=[e1])
+                yield self._proto(partner, SwitchRequest(conv, e1))
+                return
+            # -- local partner: run the partner phase inline ------------
+            if self.part.pool_size == 0:
+                self.part.release(e1)
+                self.report.bump_rejection(FailureReason.EMPTY_POOL)
+                self.consecutive_failures += 1
+                continue
+            e2 = self.part.sample_edge(self.ctx.rng)
+            self.part.checkout(e2)
+            kind = SwitchKind.CROSS if self.ctx.rng.coin() else SwitchKind.STRAIGHT
+            proposal, reason = propose_switch(e1, e2, kind)
+            if proposal is None:
+                self.part.release(e1)
+                self.part.release(e2)
+                self.report.bump_rejection(reason)
+                self.consecutive_failures += 1
+                continue
+            groups = self._group_by_owner(proposal.add)
+            mine = groups.pop(me, [])
+            yield Compute(self.cost.check_compute * len(mine))
+            if any(self._conflicts(e) for e in mine):
+                self.part.release(e1)
+                self.part.release(e2)
+                self.report.bump_rejection(FailureReason.PARALLEL)
+                self.consecutive_failures += 1
+                continue
+            if not groups:
+                # Zero-message fast path: commit immediately.
+                self.part.commit_removal(e1)
+                self.part.commit_removal(e2)
+                self.tracker.consume(e1)
+                self.tracker.consume(e2)
+                for e in mine:
+                    self.part.add_edge(*e)
+                yield Compute(self.cost.check_compute * 4)
+                self.quota -= 1
+                self.report.switches_completed += 1
+                self.report.local_switches += 1
+                self.report.bump_span(1)
+                self.consecutive_failures = 0
+                continue
+            # Local pair, but a replacement edge lives elsewhere: start
+            # the validation chain (the paper's local switch with
+            # P_k != P_i).
+            for e in mine:
+                self.reserved.add(e)
+            conv = self._new_conv()
+            self.active = InitiatorState(
+                conv, e1, e2=e2, checked_out=[e1, e2], reserved=list(mine)
+            )
+            chain = list(groups.keys()) + [me]
+            msg = Validate(
+                conv, e1, e2, kind.value, partner=me,
+                visited=(), remaining=tuple(chain[1:]),
+            )
+            yield self._proto(chain[0], msg)
+            return
+
+    # -- message handlers ---------------------------------------------------
+
+    def handle_request(self, source: int, msg: SwitchRequest):
+        """Partner role: select ``e2``, decide the kind, validate own
+        replacement edges, and launch the validation chain."""
+        me = self.ctx.rank
+        yield Compute(self.cost.switch_compute)
+        if self.part.pool_size == 0:
+            yield self._proto(
+                source, Retry(msg.conv, FailureReason.EMPTY_POOL.value))
+            return
+        e2 = self.part.sample_edge(self.ctx.rng)
+        self.part.checkout(e2)
+        kind = SwitchKind.CROSS if self.ctx.rng.coin() else SwitchKind.STRAIGHT
+        proposal, reason = propose_switch(msg.e1, e2, kind)
+        if proposal is None:
+            self.part.release(e2)
+            yield self._proto(source, Retry(msg.conv, reason.value))
+            return
+        groups = self._group_by_owner(proposal.add)
+        mine = groups.pop(me, [])
+        yield Compute(self.cost.check_compute * len(mine))
+        if any(self._conflicts(e) for e in mine):
+            self.part.release(e2)
+            yield self._proto(
+                source, Retry(msg.conv, FailureReason.PARALLEL.value))
+            return
+        for e in mine:
+            self.reserved.add(e)
+        self.servant[msg.conv] = ServantState(
+            msg.conv, checked_out=[e2], reserved=mine)
+        chain = [r for r in groups.keys() if r != source] + [source]
+        out = Validate(
+            msg.conv, msg.e1, e2, kind.value, partner=me,
+            visited=(me,), remaining=tuple(chain[1:]),
+        )
+        yield self._proto(chain[0], out)
+
+    def handle_validate(self, source: int, msg: Validate):
+        """Owner / initiator role: validate & reserve my replacement
+        edges, then forward the chain or (as initiator) commit."""
+        me = self.ctx.rank
+        initiator = msg.conv[0]
+        proposal, reason = propose_switch(
+            msg.e1, msg.e2, SwitchKind(msg.kind))
+        if proposal is None:  # degenerate cases are filtered at the partner
+            raise ProtocolError(
+                f"rank {me}: Validate carries infeasible pair "
+                f"{msg.e1}/{msg.e2}: {reason}")
+        groups = self._group_by_owner(proposal.add)
+        mine = groups.get(me, [])
+        yield Compute(self.cost.check_compute * max(1, len(mine)))
+        if any(self._conflicts(e) for e in mine):
+            for v in msg.visited:
+                yield self._proto(v, Abort(msg.conv))
+            if me == initiator:
+                self._initiator_release(FailureReason.PARALLEL)
+            else:
+                yield self._proto(
+                    initiator, Retry(msg.conv, FailureReason.PARALLEL.value))
+            return
+        for e in mine:
+            self.reserved.add(e)
+        if msg.remaining:
+            if me == initiator:
+                raise ProtocolError(
+                    f"rank {me}: initiator must terminate the chain")
+            self.servant[msg.conv] = ServantState(
+                msg.conv, checked_out=[], reserved=mine)
+            out = Validate(
+                msg.conv, msg.e1, msg.e2, msg.kind, msg.partner,
+                visited=msg.visited + (me,), remaining=msg.remaining[1:],
+            )
+            yield self._proto(msg.remaining[0], out)
+            return
+        # Chain complete: I am the initiator — commit.
+        if me != initiator:
+            raise ProtocolError(
+                f"rank {me}: chain ended at non-initiator (conv {msg.conv})")
+        st = self.active
+        if st is None or st.conv != msg.conv:
+            raise ProtocolError(
+                f"rank {me}: commit for unknown conversation {msg.conv}")
+        st.reserved.extend(mine)
+        self._apply_local(st.checked_out, st.reserved)
+        yield Compute(self.cost.check_compute * 4)
+        for v in msg.visited:
+            yield self._proto(v, Commit(msg.conv))
+        # Pipelining: the switch is complete for initiation purposes the
+        # moment the commits are sent — the next operation may start
+        # while acknowledgements are in flight.  The outstanding-ack
+        # table keeps step termination honest (_propagate_done waits
+        # for it to drain before DoneUp).
+        if msg.visited:
+            self.ack_wait[msg.conv] = len(msg.visited)
+        self.report.bump_span(len(msg.visited) + 1)
+        self._complete_active()
+
+    def handle_retry(self, source: int, msg: Retry):
+        """Initiator role: the attempt failed somewhere; release
+        everything and fall back to the initiation loop."""
+        st = self.active
+        if st is None or st.conv != msg.conv:
+            raise ProtocolError(
+                f"rank {self.ctx.rank}: Retry for unknown conversation "
+                f"{msg.conv}")
+        self._initiator_release(FailureReason(msg.reason))
+        self.consecutive_failures += 1
+        return
+        yield  # pragma: no cover - makes this a generator like its peers
+
+    def handle_abort(self, source: int, msg: Abort):
+        """Servant role: drop conversation state, undo checkout and
+        reservations."""
+        st = self.servant.pop(msg.conv, None)
+        if st is None:
+            raise ProtocolError(
+                f"rank {self.ctx.rank}: Abort for unknown conversation "
+                f"{msg.conv}")
+        for e in st.checked_out:
+            self.part.release(e)
+        for e in st.reserved:
+            self.reserved.discard(e)
+        return
+        yield  # pragma: no cover
+
+    def handle_commit(self, source: int, msg: Commit):
+        """Servant role: apply my share of the switch and acknowledge."""
+        st = self.servant.pop(msg.conv, None)
+        if st is None:
+            raise ProtocolError(
+                f"rank {self.ctx.rank}: Commit for unknown conversation "
+                f"{msg.conv}")
+        self._apply_local(st.checked_out, st.reserved)
+        yield Compute(
+            self.cost.check_compute * (len(st.checked_out) + len(st.reserved)))
+        yield self._proto(msg.conv[0], CommitAck(msg.conv))
+
+    def handle_commit_ack(self, source: int, msg: CommitAck):
+        """Initiator role: drain the outstanding-ack table."""
+        left = self.ack_wait.get(msg.conv)
+        if left is None:
+            raise ProtocolError(
+                f"rank {self.ctx.rank}: CommitAck for unknown conversation "
+                f"{msg.conv}")
+        if left == 1:
+            del self.ack_wait[msg.conv]
+        else:
+            self.ack_wait[msg.conv] = left - 1
+        return
+        yield  # pragma: no cover
+
+    # -- local application ------------------------------------------------------
+
+    def _apply_local(self, checked_out: List[Edge], reserved: List[Edge]) -> None:
+        for e in checked_out:
+            self.part.commit_removal(e)
+            self.tracker.consume(e)
+        for e in reserved:
+            self.reserved.discard(e)
+            self.part.add_edge(*e)
+
+    def _complete_active(self) -> None:
+        st = self.active
+        self.quota -= 1
+        self.consecutive_failures = 0
+        self.report.switches_completed += 1
+        if st.e2 is not None:  # local pair (partner == me)
+            self.report.local_switches += 1
+        else:
+            self.report.global_switches += 1
+        self.active = None
+
+    def _initiator_release(self, reason: FailureReason) -> None:
+        st = self.active
+        for e in st.checked_out:
+            self.part.release(e)
+        for e in st.reserved:
+            self.reserved.discard(e)
+        self.report.bump_rejection(reason)
+        self.active = None

@@ -1,0 +1,238 @@
+"""The SPMD rank program: step loop, work distribution, termination.
+
+Per step (Section 4.5's three-phase summary):
+
+1. **Distribute** — ``s`` switch operations are split over ranks by the
+   parallel multinomial algorithm with ``q_i = |E_i|/|E|``;
+2. **Switch & serve** — each rank runs its conversation loop: initiate
+   its own operations (one in flight at a time) while serving every
+   incoming protocol message; a binomial termination tree detects when
+   every rank's quota is done *and fully applied everywhere* (commit
+   acknowledgements make DoneUp safe to propagate);
+3. **Refresh** — an allgather collects the new ``|E_i|`` (and any
+   forfeited operations), the probability vector is rebuilt, and the
+   next step begins.
+
+Forfeits: a rank whose edge pool empties mid-step (its edges migrated
+away) cannot fulfil its remaining quota; the shortfall is added back to
+the global budget for subsequent steps, so the total operation count is
+preserved.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.parallel.messages import (
+    Abort,
+    Commit,
+    CommitAck,
+    DoneAll,
+    DoneUp,
+    NBYTES,
+    Retry,
+    SwitchRequest,
+    TAG_PROTO,
+    Validate,
+)
+from repro.core.parallel.protocol import ConversationMixin
+from repro.core.parallel.state import InitiatorState, RankReport, ServantState
+from repro.core.visit_rate import VisitTracker
+from repro.errors import ProtocolError
+from repro.mpsim.context import RankContext
+from repro.mpsim.ops import Probe, Recv, Send
+from repro.rvgen.parallel_multinomial import distribute_switch_counts
+
+__all__ = ["SwitchRank", "switch_rank_program"]
+
+_HANDLERS = {
+    SwitchRequest: "handle_request",
+    Validate: "handle_validate",
+    Retry: "handle_retry",
+    Abort: "handle_abort",
+    Commit: "handle_commit",
+    CommitAck: "handle_commit_ack",
+}
+
+
+class SwitchRank(ConversationMixin):
+    """One rank's complete execution of the parallel edge switch."""
+
+    def __init__(self, ctx: RankContext):
+        args = ctx.args
+        self.ctx = ctx
+        self.part = args.partition
+        self.owner = args.partitioner.owner
+        self.config = args.config
+        self.cost = args.config.cost
+        self.failure_limit = args.config.consecutive_failure_limit
+        self.report = RankReport(rank=ctx.rank)
+        self.tracker = VisitTracker(self.part.edges())
+        # conversation state (ConversationMixin contract)
+        self.reserved = set()
+        self.servant = {}
+        self.active: Optional[InitiatorState] = None
+        self.ack_wait = {}
+        self.serial = 0
+        self.consecutive_failures = 0
+        # step state
+        self.q: List[float] = []
+        self.quota = 0
+        self.step_forfeited = 0
+        self.step_index = 0
+        # termination tree (binary, rooted at 0)
+        me = ctx.rank
+        self.parent = (me - 1) // 2 if me > 0 else -1
+        self.children = [c for c in (2 * me + 1, 2 * me + 2) if c < ctx.size]
+        self.children_done = 0
+        self.done_up_sent = False
+        self.done_all = False
+
+    # -- main -----------------------------------------------------------
+
+    def main(self):
+        """The rank program (generator)."""
+        cfg = self.config
+        self.report.initial_edges = self.part.num_edges
+        self.report.initial_count = self.tracker.initial_count
+
+        counts = yield from self.ctx.allgather(self.part.num_edges, nbytes=8)
+        self.q = _normalise(counts)
+
+        remaining = cfg.t
+        max_steps = cfg.max_steps_factor * _ceil_div(cfg.t, cfg.step_size) + 8
+        while remaining > 0 and self.step_index < max_steps:
+            step_quota = min(cfg.step_size, remaining)
+            assigned = yield from distribute_switch_counts(
+                self.ctx, step_quota, self.q, self.cost)
+            self.report.assigned_total += assigned
+            yield from self._run_step(assigned)
+            pairs = yield from self.ctx.allgather(
+                (self.part.num_edges, self.step_forfeited), nbytes=16)
+            counts = [c for c, _ in pairs]
+            forfeited = sum(f for _, f in pairs)
+            self.report.edge_trajectory.append(self.part.num_edges)
+            self.q = _normalise(counts)
+            remaining -= step_quota - forfeited
+            self.step_index += 1
+            self.report.steps = self.step_index
+            if forfeited == step_quota and step_quota > 0:
+                break  # nobody can make progress; stop rather than spin
+
+        self.report.visited_count = self.tracker.visited_count
+        self.report.final_edges = self.part.num_edges
+        if cfg.collect_edges:
+            self.report.final_edge_list = list(self.part.edges())
+        self._verify_quiescent()
+        return self.report
+
+    # -- one step ------------------------------------------------------------
+
+    def _run_step(self, assigned: int):
+        self.quota = assigned
+        self.step_forfeited = 0
+        self.children_done = 0
+        self.done_up_sent = False
+        self.done_all = False
+
+        while True:
+            yield from self._propagate_done()
+            if self.done_all:
+                break
+            if self.quota > 0 and self.active is None:
+                pending = yield Probe(tag=TAG_PROTO)
+                if not pending:
+                    # try_initiate returns when a conversation goes
+                    # remote, the quota is exhausted/forfeited, or an
+                    # incoming message demands service.
+                    yield from self.try_initiate()
+                    continue
+            msg = yield Recv(tag=TAG_PROTO)
+            yield from self._dispatch(msg)
+
+    def _dispatch(self, msg):
+        payload = msg.payload
+        kind = type(payload)
+        if kind is DoneUp:
+            self._check_step(payload.step)
+            self.children_done += 1
+            return
+        if kind is DoneAll:
+            self._check_step(payload.step)
+            for child in self.children:
+                yield Send(child, TAG_PROTO, DoneAll(self.step_index),
+                           NBYTES[DoneAll])
+            self.done_all = True
+            return
+        handler = _HANDLERS.get(kind)
+        if handler is None:
+            raise ProtocolError(
+                f"rank {self.ctx.rank}: unexpected payload {payload!r}")
+        yield from getattr(self, handler)(msg.source, payload)
+
+    def _check_step(self, step: int) -> None:
+        if step != self.step_index:
+            raise ProtocolError(
+                f"rank {self.ctx.rank}: termination message for step "
+                f"{step} during step {self.step_index}")
+
+    def _propagate_done(self):
+        """Send DoneUp/DoneAll when this subtree has fully finished.
+
+        Safe because a rank's quota only reaches zero once its final
+        conversation is applied *and acknowledged* everywhere, so by the
+        time the root has heard from the whole tree there is no switch
+        traffic left in flight."""
+        if self.done_up_sent:
+            return
+        if self.quota > 0 or self.active is not None or self.ack_wait:
+            return
+        if self.children_done < len(self.children):
+            return
+        self.done_up_sent = True
+        if self.parent < 0:  # root: the whole machine is done
+            for child in self.children:
+                yield Send(child, TAG_PROTO, DoneAll(self.step_index),
+                           NBYTES[DoneAll])
+            self.done_all = True
+        else:
+            yield Send(self.parent, TAG_PROTO, DoneUp(self.step_index),
+                       NBYTES[DoneUp])
+
+    # -- invariants ------------------------------------------------------------
+
+    def _verify_quiescent(self) -> None:
+        """At run end no conversation state may linger."""
+        if self.active is not None:
+            raise ProtocolError(
+                f"rank {self.ctx.rank}: active conversation at shutdown")
+        if self.servant:
+            raise ProtocolError(
+                f"rank {self.ctx.rank}: {len(self.servant)} servant "
+                "conversations at shutdown")
+        if self.ack_wait:
+            raise ProtocolError(
+                f"rank {self.ctx.rank}: {len(self.ack_wait)} unacknowledged "
+                "commits at shutdown")
+        if self.reserved:
+            raise ProtocolError(
+                f"rank {self.ctx.rank}: {len(self.reserved)} reservations "
+                "at shutdown")
+
+
+def switch_rank_program(ctx: RankContext):
+    """Entry point handed to a cluster's ``run``."""
+    rank = SwitchRank(ctx)
+    report = yield from rank.main()
+    return report
+
+
+def _normalise(counts: List[int]) -> List[float]:
+    total = sum(counts)
+    if total == 0:
+        return [1.0 / len(counts)] * len(counts)
+    return [c / total for c in counts]
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)

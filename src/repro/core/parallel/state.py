@@ -1,0 +1,88 @@
+"""Per-rank runtime state and result records for the parallel switch."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.constraints import FailureReason
+from repro.graphs.reduced import ReducedAdjacencyGraph
+from repro.types import Edge
+
+__all__ = ["InitiatorState", "ServantState", "RankReport"]
+
+
+@dataclass
+class InitiatorState:
+    """The (single) conversation this rank currently has in flight as
+    initiator."""
+
+    conv: Tuple[int, int]
+    e1: Edge
+    #: Second edge once known (set for local-partner conversations).
+    e2: Optional[Edge] = None
+    #: Checked-out edges this rank must finalise/release (always e1;
+    #: plus e2 when the partner is the initiator itself).
+    checked_out: List[Edge] = field(default_factory=list)
+    #: Replacement edges this rank reserved (to add at commit).
+    reserved: List[Edge] = field(default_factory=list)
+
+
+@dataclass
+class ServantState:
+    """State held for a conversation this rank serves (partner or
+    replacement-edge owner)."""
+
+    conv: Tuple[int, int]
+    #: Edges checked out here (the partner's e2), finalised at commit.
+    checked_out: List[Edge] = field(default_factory=list)
+    #: Replacement edges reserved here, added at commit.
+    reserved: List[Edge] = field(default_factory=list)
+
+
+@dataclass
+class RankReport:
+    """What one rank returns from a parallel switching run."""
+
+    rank: int
+    #: Switch operations this rank initiated and completed.
+    switches_completed: int = 0
+    #: ... of which both edges were local (zero-message fast path).
+    local_switches: int = 0
+    #: ... of which involved at least one other rank.
+    global_switches: int = 0
+    #: Total switch operations assigned over all steps (the paper's
+    #: per-rank "workload", Figs. 19–21).
+    assigned_total: int = 0
+    #: Assigned operations this rank could not perform (empty pool).
+    forfeited: int = 0
+    #: Failed attempts by reason.
+    rejections: Dict[str, int] = field(default_factory=dict)
+    #: Steps executed.
+    steps: int = 0
+    #: Initial edges of this rank's partition touched by switches.
+    visited_count: int = 0
+    #: Initial edges of this rank's partition.
+    initial_count: int = 0
+    #: |E_i| at the end of the run.
+    final_edges: int = 0
+    #: |E_i| at the start of the run.
+    initial_edges: int = 0
+    #: Completed initiated conversations by number of participating
+    #: ranks (1 = fully local zero-message switch).  The paper's
+    #: reduced-adjacency-list argument is that this stays at 2-3.
+    span_histogram: Dict[int, int] = field(default_factory=dict)
+    #: Final edge list of this rank's partition — populated only when
+    #: the config asks for it (process backend, where the driver cannot
+    #: read the partitions out of the workers' memory).
+    final_edge_list: Optional[List[Edge]] = None
+    #: |E_i| after every step — the drift time series behind Fig. 18.
+    edge_trajectory: List[int] = field(default_factory=list)
+
+    def bump_span(self, ranks_involved: int) -> None:
+        self.span_histogram[ranks_involved] = (
+            self.span_histogram.get(ranks_involved, 0) + 1)
+
+    def bump_rejection(self, reason: FailureReason) -> None:
+        key = reason.value
+        self.rejections[key] = self.rejections.get(key, 0) + 1

@@ -1,0 +1,154 @@
+"""Sequential edge switching — Algorithm 1, instrumented.
+
+Works on a full-graph :class:`ReducedAdjacencyGraph` (all vertices
+owned), using the straight/cross formulation of Section 4.2 so the
+sequential and parallel processes are the *same* stochastic process —
+the property the similarity experiments (Section 4.6) rely on.
+
+Runtime ``O(t)`` expected: edge selection is O(1), feasibility checks
+are O(1) set lookups, and the rejection probability is small for sparse
+simple graphs (rejections are counted, not hidden).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.constraints import FailureReason, SwitchKind, propose_switch
+from repro.core.visit_rate import VisitTracker
+from repro.errors import ConfigurationError, SwitchError
+from repro.graphs.graph import SimpleGraph
+from repro.graphs.reduced import ReducedAdjacencyGraph
+from repro.util.rng import RngStream
+
+__all__ = ["SequentialResult", "sequential_edge_switch"]
+
+#: Abort if a single switch operation rejects this many times in a row
+#: (the graph is too small/dense for a feasible switch to exist).
+_MAX_CONSECUTIVE_REJECTS = 100_000
+
+
+@dataclass
+class SequentialResult:
+    """Outcome of a sequential switching run."""
+
+    #: The final graph (same object family as the input representation).
+    graph: ReducedAdjacencyGraph
+    #: Completed switch operations (== requested ``t``).
+    switches: int
+    #: Total attempts including rejected ones.
+    attempts: int
+    #: Rejections per failure reason.
+    rejections: Dict[FailureReason, int]
+    #: Achieved visit rate ``x' = m'/m``.
+    visit_rate: float
+    #: Visit tracker (for callers needing the edge-level detail).
+    tracker: VisitTracker = field(repr=False, default=None)
+
+    def to_simple(self, num_vertices: int) -> SimpleGraph:
+        """Materialise the final graph as a :class:`SimpleGraph`."""
+        return SimpleGraph.from_edges(num_vertices, self.graph.edges())
+
+
+def sequential_edge_switch(
+    graph: SimpleGraph,
+    t: int,
+    rng: RngStream,
+    tracker: Optional[VisitTracker] = None,
+    lazy: bool = False,
+) -> SequentialResult:
+    """Perform ``t`` edge switch operations on a copy of ``graph``.
+
+    The input graph is not modified.  Each operation selects two
+    distinct edges uniformly at random, flips a fair coin between the
+    straight and cross replacement (Fig. 3), and applies it iff the
+    graph stays simple.
+
+    ``lazy`` selects what happens to infeasible proposals and — subtly —
+    the chain's stationary distribution:
+
+    * ``lazy=False`` (default, the paper's Algorithm 1): redraw until a
+      switch succeeds; ``t`` counts *successful* switches.  The
+      resulting Markov chain's stationary distribution is proportional
+      to each graph's number of feasible switches, i.e. *almost* but
+      not exactly uniform over the degree-sequence class (the bias is
+      tiny for large sparse graphs, where feasible-switch counts
+      concentrate).
+    * ``lazy=True``: a failed proposal consumes one of the ``t``
+      operations and leaves the graph unchanged (a lazy self-loop
+      step).  This Metropolis-style chain is *exactly* uniform in the
+      limit — use it when uniform sampling matters more than hitting a
+      switch count.  ``result.switches`` then reports the number of
+      switches actually applied (≤ t).
+    """
+    if t < 0:
+        raise ConfigurationError(f"switch count must be >= 0, got {t}")
+    if graph.num_edges < 2 and t > 0:
+        raise ConfigurationError("need at least 2 edges to switch")
+
+    work = ReducedAdjacencyGraph.from_simple(graph)
+    if tracker is None:
+        tracker = VisitTracker(work.edges())
+    rejections: Dict[FailureReason, int] = {reason: 0 for reason in FailureReason}
+    attempts = 0
+    applied = 0
+
+    # Plain switching never changes the pool size, so uniform indices
+    # stay valid for the whole run — draw them in vectorised blocks
+    # (index pairs and coin flips) instead of one scalar at a time.
+    pool = graph.num_edges
+    gen = rng.generator
+    block = 4096
+    idx_buf: list = []
+    coin_buf: list = []
+    pos = block
+
+    for _ in range(t):
+        consecutive = 0
+        while True:
+            attempts += 1
+            consecutive += 1
+            if consecutive > _MAX_CONSECUTIVE_REJECTS:
+                raise SwitchError(
+                    "no feasible switch found after "
+                    f"{_MAX_CONSECUTIVE_REJECTS} attempts; graph too "
+                    "small or too dense"
+                )
+            if pos >= block:
+                idx_buf = gen.integers(pool, size=2 * block).tolist()
+                coin_buf = gen.integers(2, size=block).tolist()
+                pos = 0
+            e1 = work.edge_at(idx_buf[2 * pos])
+            e2 = work.edge_at(idx_buf[2 * pos + 1])
+            kind = SwitchKind.CROSS if coin_buf[pos] else SwitchKind.STRAIGHT
+            pos += 1
+            proposal, reason = propose_switch(e1, e2, kind)
+            if proposal is None:
+                rejections[reason] += 1
+                if lazy:
+                    break  # the lazy chain's self-loop step
+                continue
+            new_a, new_b = proposal.add
+            if work.has_edge(*new_a) or work.has_edge(*new_b):
+                rejections[FailureReason.PARALLEL] += 1
+                if lazy:
+                    break
+                continue
+            work.remove_edge(*e1)
+            work.remove_edge(*e2)
+            work.add_edge(*new_a)
+            work.add_edge(*new_b)
+            tracker.consume(e1)
+            tracker.consume(e2)
+            applied += 1
+            break
+
+    return SequentialResult(
+        graph=work,
+        switches=applied,
+        attempts=attempts,
+        rejections=rejections,
+        visit_rate=tracker.visit_rate,
+        tracker=tracker,
+    )

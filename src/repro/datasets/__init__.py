@@ -1,0 +1,5 @@
+"""Scaled stand-ins for the paper's evaluation datasets (Table 2)."""
+
+from repro.datasets.catalog import DATASETS, Dataset, load_dataset
+
+__all__ = ["DATASETS", "Dataset", "load_dataset"]

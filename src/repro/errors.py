@@ -1,0 +1,69 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch the whole family with one
+``except`` clause while still being able to discriminate on subtype.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "NotSimpleError",
+    "DegreeSequenceError",
+    "PartitionError",
+    "SwitchError",
+    "ProtocolError",
+    "SimulationError",
+    "DeadlockError",
+    "DistributionError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """A graph operation was invalid (missing vertex/edge, bad argument)."""
+
+
+class NotSimpleError(GraphError):
+    """An operation would have produced a self-loop or a parallel edge."""
+
+
+class DegreeSequenceError(GraphError):
+    """A degree sequence is not graphical or is otherwise malformed."""
+
+
+class PartitionError(ReproError):
+    """A partitioning scheme received invalid input or produced an
+    inconsistent partition (non-disjoint or non-covering)."""
+
+
+class SwitchError(ReproError):
+    """An edge-switch operation could not be carried out."""
+
+
+class ProtocolError(SwitchError):
+    """The distributed edge-switch protocol reached an invalid state,
+    e.g. an unexpected message type for the current phase."""
+
+
+class SimulationError(ReproError):
+    """The message-passing simulation engine detected an internal fault."""
+
+
+class DeadlockError(SimulationError):
+    """All simulated ranks are blocked and no event can make progress."""
+
+
+class DistributionError(ReproError):
+    """Invalid parameters for a random-variate generator (e.g. a
+    probability outside ``[0, 1]`` or weights that do not sum to one)."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or driver was configured with inconsistent options."""

@@ -1,0 +1,37 @@
+"""Experiment harness regenerating the paper's tables and figures.
+
+Each benchmark under ``benchmarks/`` is a thin wrapper over the
+functions here; the same functions are importable for interactive use::
+
+    from repro.experiments import strong_scaling, print_table
+"""
+
+from repro.experiments.harness import (
+    ErrorRateResult,
+    ScalingPoint,
+    error_rate_experiment,
+    print_series,
+    print_table,
+    property_trajectory,
+    strong_scaling,
+    visit_rate_experiment,
+    weak_scaling,
+)
+from repro.experiments.plotting import ascii_plot, sparkline
+from repro.experiments.records import ExperimentRecord, save_record
+
+__all__ = [
+    "ErrorRateResult",
+    "ScalingPoint",
+    "error_rate_experiment",
+    "print_series",
+    "print_table",
+    "property_trajectory",
+    "strong_scaling",
+    "visit_rate_experiment",
+    "weak_scaling",
+    "ascii_plot",
+    "sparkline",
+    "ExperimentRecord",
+    "save_record",
+]

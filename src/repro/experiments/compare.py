@@ -1,0 +1,104 @@
+"""Compare experiment records across runs/versions.
+
+Benchmarks dump JSON records (``repro.experiments.records``); this
+module diffs two record sets — e.g. artifacts produced before and
+after a change — and reports which measured series moved by more than
+a tolerance.  The numeric comparison is recursive over the records'
+``results`` trees, comparing every number reachable at the same path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.experiments.records import ExperimentRecord, load_all
+
+__all__ = ["Divergence", "compare_results", "compare_directories"]
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One numeric value that moved beyond tolerance."""
+
+    label: str
+    path: str
+    old: float
+    new: float
+
+    @property
+    def relative(self) -> float:
+        base = max(abs(self.old), abs(self.new), 1e-12)
+        return abs(self.new - self.old) / base
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{self.label} @ {self.path}: {self.old:.6g} -> "
+                f"{self.new:.6g} ({self.relative:.1%})")
+
+
+def _walk(tree: Any, path: str = "") -> List[Tuple[str, Any]]:
+    if isinstance(tree, dict):
+        out = []
+        for key in sorted(tree):
+            out.extend(_walk(tree[key], f"{path}/{key}"))
+        return out
+    if isinstance(tree, (list, tuple)):
+        out = []
+        for i, item in enumerate(tree):
+            out.extend(_walk(item, f"{path}[{i}]"))
+        return out
+    return [(path, tree)]
+
+
+def compare_results(
+    old: ExperimentRecord,
+    new: ExperimentRecord,
+    rel_tolerance: float = 0.05,
+) -> List[Divergence]:
+    """Numeric divergences between two records of the same experiment.
+
+    Paths present in only one record are reported with the other side
+    as ``nan``; non-numeric leaves are compared for equality and
+    reported (as 0 vs 1) when they differ.
+    """
+    old_leaves = dict(_walk(old.results))
+    new_leaves = dict(_walk(new.results))
+    out: List[Divergence] = []
+    for path in sorted(set(old_leaves) | set(new_leaves)):
+        if path not in old_leaves or path not in new_leaves:
+            out.append(Divergence(new.label, path,
+                                  float("nan") if path not in old_leaves
+                                  else _num(old_leaves[path]),
+                                  float("nan") if path not in new_leaves
+                                  else _num(new_leaves[path])))
+            continue
+        a, b = old_leaves[path], new_leaves[path]
+        if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+            base = max(abs(a), abs(b), 1e-12)
+            if abs(a - b) / base > rel_tolerance:
+                out.append(Divergence(new.label, path, float(a), float(b)))
+        elif a != b:
+            out.append(Divergence(new.label, path, 0.0, 1.0))
+    return out
+
+
+def _num(value: Any) -> float:
+    return float(value) if isinstance(value, (int, float)) else float("nan")
+
+
+def compare_directories(
+    old_dir: Union[str, Path],
+    new_dir: Union[str, Path],
+    rel_tolerance: float = 0.05,
+) -> Dict[str, List[Divergence]]:
+    """Diff every same-label record pair between two artifact
+    directories; returns only experiments with divergences."""
+    old_by = {r.label: r for r in load_all(old_dir)}
+    new_by = {r.label: r for r in load_all(new_dir)}
+    report: Dict[str, List[Divergence]] = {}
+    for label in sorted(set(old_by) & set(new_by)):
+        divs = compare_results(old_by[label], new_by[label], rel_tolerance)
+        if divs:
+            report[label] = divs
+    return report

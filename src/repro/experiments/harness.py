@@ -1,0 +1,278 @@
+"""Reusable experiment building blocks.
+
+Speedup is always *simulated-time* speedup ``T_sim(1) / T_sim(p)`` from
+the discrete-event machine — the reproduction-scale analogue of the
+paper's wall-clock speedups (the substitution is argued in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.parallel.driver import ParallelSwitchResult, parallel_edge_switch
+from repro.core.sequential import sequential_edge_switch
+from repro.core.similarity import error_rate
+from repro.graphs.graph import SimpleGraph
+from repro.mpsim.costmodel import CostModel
+from repro.partition.base import Partitioner
+from repro.util.harmonic import switches_for_visit_rate
+from repro.util.rng import RngStream
+from repro.util.stats import summarize
+
+__all__ = [
+    "ScalingPoint",
+    "ErrorRateResult",
+    "strong_scaling",
+    "weak_scaling",
+    "error_rate_experiment",
+    "visit_rate_experiment",
+    "property_trajectory",
+    "print_table",
+    "print_series",
+]
+
+
+# ---------------------------------------------------------------------------
+# scaling
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (rank count → performance) measurement."""
+
+    p: int
+    sim_time: float
+    speedup: float
+    messages: int
+    switches: int
+
+
+def strong_scaling(
+    graph: SimpleGraph,
+    ranks: Sequence[int],
+    *,
+    scheme: Union[str, Partitioner] = "cp",
+    t: Optional[int] = None,
+    visit_rate: float = 1.0,
+    step_size: Optional[int] = None,
+    step_fraction: float = 0.01,
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+) -> List[ScalingPoint]:
+    """Fixed problem, growing machine (Figs. 4, 6, 14, 15, 22).
+
+    ``t`` defaults to the visit-rate formula; the paper's strong-scaling
+    setting is ``x = 1`` and ``s = t/100``.
+    """
+    if t is None:
+        t = switches_for_visit_rate(graph.num_edges, visit_rate)
+    points: List[ScalingPoint] = []
+    base: Optional[float] = None
+    for p in ranks:
+        res = parallel_edge_switch(
+            graph, p, t=t, step_size=step_size, step_fraction=step_fraction,
+            scheme=scheme, seed=seed, cost_model=cost_model,
+        )
+        if base is None:
+            base = res.sim_time
+        points.append(ScalingPoint(
+            p, res.sim_time, base / res.sim_time,
+            res.run.total_messages, res.switches_completed,
+        ))
+    return points
+
+
+def weak_scaling(
+    graph_for_p: Callable[[int], SimpleGraph],
+    ranks: Sequence[int],
+    *,
+    t_per_rank: int,
+    step_fraction: float = 0.001,
+    scheme: Union[str, Partitioner] = "cp",
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+) -> List[ScalingPoint]:
+    """Problem grows with the machine (Figs. 5, 23, 25): ``t = p · t₀``.
+
+    ``graph_for_p`` supplies the input for each rank count — a constant
+    function reproduces the paper's fixed-graph variant, a growing
+    family the varying-graph variant.  Ideal behaviour is flat
+    ``sim_time``; the ``speedup`` field holds ``T(p₀)/T(p)`` (≤ 1 as
+    communication grows).
+    """
+    points: List[ScalingPoint] = []
+    base: Optional[float] = None
+    for p in ranks:
+        graph = graph_for_p(p)
+        t = t_per_rank * p
+        res = parallel_edge_switch(
+            graph, p, t=t, step_fraction=step_fraction,
+            scheme=scheme, seed=seed, cost_model=cost_model,
+        )
+        if base is None:
+            base = res.sim_time
+        points.append(ScalingPoint(
+            p, res.sim_time, base / res.sim_time,
+            res.run.total_messages, res.switches_completed,
+        ))
+    return points
+
+
+# ---------------------------------------------------------------------------
+# similarity / error rate
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ErrorRateResult:
+    """Averaged ER comparisons for one configuration (Figs. 7–11,
+    Table 3)."""
+
+    seq_vs_seq: float
+    seq_vs_par: float
+    reps: int
+
+    @property
+    def gap(self) -> float:
+        """seq-vs-par minus seq-vs-seq: ≈ 0 means the parallel process
+        is indistinguishable from a sequential rerun."""
+        return self.seq_vs_par - self.seq_vs_seq
+
+
+def error_rate_experiment(
+    graph: SimpleGraph,
+    *,
+    p: int,
+    scheme: Union[str, Partitioner] = "cp",
+    t: Optional[int] = None,
+    visit_rate: float = 1.0,
+    step_size: Optional[int] = None,
+    reps: int = 3,
+    r_blocks: int = 20,
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+) -> ErrorRateResult:
+    """The paper's similarity methodology (Section 4.6): compare the ER
+    between a sequential and a parallel resultant graph against the ER
+    between two sequential resultant graphs, averaged over ``reps``
+    seed pairs."""
+    if t is None:
+        t = switches_for_visit_rate(graph.num_edges, visit_rate)
+    n = graph.num_vertices
+    ss, sp = [], []
+    for rep in range(reps):
+        s1 = sequential_edge_switch(graph, t, RngStream(seed + 1000 + rep))
+        s2 = sequential_edge_switch(graph, t, RngStream(seed + 2000 + rep))
+        par = parallel_edge_switch(
+            graph, p, t=t, step_size=step_size, scheme=scheme,
+            seed=seed + 3000 + rep, cost_model=cost_model,
+        )
+        ss.append(error_rate(s1.graph.edges(), s2.graph.edges(), n, r_blocks))
+        sp.append(error_rate(s1.graph.edges(), par.graph.edges(), n, r_blocks))
+    return ErrorRateResult(
+        seq_vs_seq=sum(ss) / len(ss),
+        seq_vs_par=sum(sp) / len(sp),
+        reps=reps,
+    )
+
+
+# ---------------------------------------------------------------------------
+# visit rate (Table 1 / Fig. 2)
+# ---------------------------------------------------------------------------
+
+def visit_rate_experiment(
+    graph: SimpleGraph,
+    rates: Sequence[float],
+    reps: int = 5,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Desired vs observed visit rate, sequential algorithm.
+
+    Returns one row per desired rate with observed mean/min/max and the
+    paper's average error-rate percentage."""
+    rows = []
+    for x in rates:
+        t = switches_for_visit_rate(graph.num_edges, x)
+        observed = []
+        for rep in range(reps):
+            res = sequential_edge_switch(graph, t, RngStream(seed + 97 * rep))
+            observed.append(res.visit_rate)
+        s = summarize(observed)
+        err = sum(abs(x - o) for o in observed) / (x * reps) * 100.0 if x else 0.0
+        rows.append({
+            "desired": x, "t": t, "observed_mean": s.mean,
+            "observed_min": s.minimum, "observed_max": s.maximum,
+            "error_pct": err,
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# network properties vs visit rate (Figs. 12–13)
+# ---------------------------------------------------------------------------
+
+def property_trajectory(
+    graph: SimpleGraph,
+    rates: Sequence[float],
+    metric: Callable[[SimpleGraph], float],
+    *,
+    mode: str = "sequential",
+    p: int = 8,
+    scheme: Union[str, Partitioner] = "cp",
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+) -> List[Tuple[float, float]]:
+    """Metric value after switching to each visit rate, starting from
+    the same initial graph every time (matching the paper's plots)."""
+    out = []
+    for x in rates:
+        t = switches_for_visit_rate(graph.num_edges, x)
+        if mode == "sequential":
+            res = sequential_edge_switch(graph, t, RngStream(seed))
+            final = res.to_simple(graph.num_vertices)
+        elif mode == "parallel":
+            pres = parallel_edge_switch(
+                graph, p, t=t, scheme=scheme, seed=seed, cost_model=cost_model)
+            final = pres.graph
+        else:
+            raise ValueError(f"unknown mode {mode!r}")
+        out.append((x, metric(final)))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# formatting
+# ---------------------------------------------------------------------------
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Iterable[Sequence], widths: Optional[Sequence[int]] = None
+                ) -> None:
+    """Fixed-width table printer used by every bench."""
+    rows = [tuple(r) for r in rows]
+    if widths is None:
+        widths = [
+            max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) if rows else len(str(h))
+            for i, h in enumerate(headers)
+        ]
+    print()
+    print(f"== {title} ==")
+    print("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for r in rows:
+        print("  ".join(_fmt(c).rjust(w) for c, w in zip(r, widths)))
+
+
+def print_series(title: str, points: Sequence[ScalingPoint]) -> None:
+    """Print a scaling series in the shape of the paper's figures."""
+    print_table(
+        title,
+        ["p", "sim_time", "speedup", "messages", "switches"],
+        [(pt.p, f"{pt.sim_time:.0f}", f"{pt.speedup:.2f}",
+          pt.messages, pt.switches) for pt in points],
+    )
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

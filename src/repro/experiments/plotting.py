@@ -1,0 +1,103 @@
+"""Terminal plotting: ASCII line charts for experiment series.
+
+No plotting dependency ships offline, so the harness renders its own
+charts — good enough to see a speedup curve bend or an error rate take
+off, directly in the benchmark output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ascii_plot", "sparkline"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line bar sketch of a series.
+
+    >>> sparkline([1, 2, 3])
+    '▁▄█'
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if math.isclose(lo, hi):
+        return _SPARK_LEVELS[0] * len(vals)
+    span = hi - lo
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)
+
+
+def ascii_plot(
+    series: Sequence[Tuple[str, Sequence[float], Sequence[float]]],
+    width: int = 60,
+    height: int = 14,
+    title: str = "",
+    logx: bool = False,
+) -> str:
+    """Render one or more ``(name, xs, ys)`` series on a shared grid.
+
+    Each series gets a distinct marker; axes are annotated with min/max.
+    Returns the chart as a string (callers print it).
+    """
+    if not series:
+        raise ConfigurationError("ascii_plot needs at least one series")
+    markers = "*o+x#@%&"
+    all_x: List[float] = []
+    all_y: List[float] = []
+    for name, xs, ys in series:
+        if len(xs) != len(ys):
+            raise ConfigurationError(f"series {name!r}: x/y length mismatch")
+        all_x.extend(float(v) for v in xs)
+        all_y.extend(float(v) for v in ys)
+    if not all_x:
+        raise ConfigurationError("ascii_plot needs non-empty series")
+
+    def xt(v: float) -> float:
+        if logx:
+            if v <= 0:
+                raise ConfigurationError("logx requires positive x values")
+            return math.log10(v)
+        return v
+
+    x_lo, x_hi = min(map(xt, all_x)), max(map(xt, all_x))
+    y_lo, y_hi = min(all_y), max(all_y)
+    if math.isclose(x_lo, x_hi):
+        x_hi = x_lo + 1.0
+    if math.isclose(y_lo, y_hi):
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, xs, ys) in enumerate(series):
+        mark = markers[idx % len(markers)]
+        for x, y in zip(xs, ys):
+            col = int((xt(float(x)) - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((float(y) - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:>10.4g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo:>10.4g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + " └" + "─" * width)
+    x_label = f"{min(all_x):.4g}"
+    x_label_hi = f"{max(all_x):.4g}" + (" (log x)" if logx else "")
+    pad = width - len(x_label) - len(x_label_hi)
+    lines.append(" " * 12 + x_label + " " * max(1, pad) + x_label_hi)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}"
+        for i, (name, _, _) in enumerate(series))
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

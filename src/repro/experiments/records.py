@@ -1,0 +1,91 @@
+"""Persistent experiment records.
+
+Benchmarks (and users) can dump what they measured as JSON artifacts —
+one record per experiment run, with enough metadata to re-run it —
+and reload them later for comparison across code versions.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ExperimentRecord", "save_record", "load_record", "load_all"]
+
+_SCHEMA_VERSION = 1
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment's inputs and outputs."""
+
+    #: Paper label ("Fig. 4", "Table 3", ...) or free-form name.
+    label: str
+    #: Input parameters (dataset, scheme, t, step size, ranks, seed...).
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: Measured series/rows, shape chosen by the experiment.
+    results: Dict[str, Any] = field(default_factory=dict)
+    #: Library version the record was produced with.
+    version: str = ""
+    #: Schema version for forward compatibility.
+    schema: int = _SCHEMA_VERSION
+    #: Interpreter/platform fingerprint.
+    environment: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.label:
+            raise ConfigurationError("record needs a non-empty label")
+        if not self.version:
+            import repro
+            self.version = repro.__version__
+        if not self.environment:
+            self.environment = {
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+            }
+
+
+def _slug(label: str) -> str:
+    return "".join(c if c.isalnum() else "_" for c in label.lower()).strip("_")
+
+
+def save_record(record: ExperimentRecord, directory: Union[str, Path]) -> Path:
+    """Write ``record`` as ``<slug>.json`` under ``directory`` (created
+    if missing); returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{_slug(record.label)}.json"
+    path.write_text(json.dumps(asdict(record), indent=2, sort_keys=True))
+    return path
+
+
+def load_record(path: Union[str, Path]) -> ExperimentRecord:
+    """Read one record back."""
+    data = json.loads(Path(path).read_text())
+    schema = data.get("schema", 0)
+    if schema > _SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"record schema {schema} is newer than supported "
+            f"{_SCHEMA_VERSION}")
+    return ExperimentRecord(
+        label=data["label"],
+        params=data.get("params", {}),
+        results=data.get("results", {}),
+        version=data.get("version", "unknown"),
+        schema=schema,
+        environment=data.get("environment", {}),
+    )
+
+
+def load_all(directory: Union[str, Path]) -> List[ExperimentRecord]:
+    """All records in ``directory``, sorted by label."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    records = [load_record(p) for p in sorted(directory.glob("*.json"))]
+    return sorted(records, key=lambda r: r.label)

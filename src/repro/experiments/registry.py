@@ -1,0 +1,100 @@
+"""Experiment registry: every table/figure mapped to its bench module.
+
+Self-verifying version of DESIGN.md's experiment index — the test
+suite checks each registered bench file exists, and the CLI uses the
+registry to list what can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["Experiment", "EXPERIMENTS"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible unit of the paper's evaluation."""
+
+    #: Paper label ("Table 1", "Fig. 4", ...).
+    label: str
+    #: What it demonstrates, one line.
+    claim: str
+    #: Benchmark file under benchmarks/ that regenerates it.
+    bench: str
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    e.label: e
+    for e in [
+        Experiment("Table 1", "observed visit rate ≈ desired",
+                   "test_table1_fig2_visit_rate.py"),
+        Experiment("Fig. 2", "visit-rate curve overlays the diagonal",
+                   "test_table1_fig2_visit_rate.py"),
+        Experiment("Table 2", "dataset inventory",
+                   "test_table2_datasets.py"),
+        Experiment("Fig. 4", "CP strong scaling on eight graphs",
+                   "test_fig4_strong_scaling_cp.py"),
+        Experiment("Fig. 5", "CP weak scaling",
+                   "test_fig5_weak_scaling_cp.py"),
+        Experiment("Fig. 6", "scaling improves with step-size",
+                   "test_fig6to9_stepsize.py"),
+        Experiment("Fig. 7", "error rate flat in p",
+                   "test_fig6to9_stepsize.py"),
+        Experiment("Fig. 8", "speedup vs step-size",
+                   "test_fig6to9_stepsize.py"),
+        Experiment("Fig. 9", "error rate vs step-size",
+                   "test_fig6to9_stepsize.py"),
+        Experiment("Fig. 10", "speedup vs step-size across graphs",
+                   "test_fig10_11_stepsize_graphs.py"),
+        Experiment("Fig. 11", "error rate vs step-size across graphs",
+                   "test_fig10_11_stepsize_graphs.py"),
+        Experiment("Fig. 12", "clustering decay identical seq/par",
+                   "test_fig12_13_properties.py"),
+        Experiment("Fig. 13", "path-length change identical seq/par",
+                   "test_fig12_13_properties.py"),
+        Experiment("Fig. 14", "HP-U strong scaling on eight graphs",
+                   "test_fig14_strong_scaling_hpu.py"),
+        Experiment("Fig. 15", "CP vs HP scheme comparison",
+                   "test_fig15_scheme_comparison.py"),
+        Experiment("Fig. 16", "vertices per rank by scheme",
+                   "test_fig16to20_load_balance.py"),
+        Experiment("Fig. 17", "initial edges per rank by scheme",
+                   "test_fig16to20_load_balance.py"),
+        Experiment("Fig. 18", "final edges per rank by scheme",
+                   "test_fig16to20_load_balance.py"),
+        Experiment("Fig. 19", "workload per rank, clustered graph",
+                   "test_fig16to20_load_balance.py"),
+        Experiment("Fig. 20", "workload per rank, PA graph",
+                   "test_fig16to20_load_balance.py"),
+        Experiment("Fig. 21", "HP-D adversarial workload blow-up",
+                   "test_fig21_22_adversary.py"),
+        Experiment("Fig. 22", "runtime under adversarial labels",
+                   "test_fig21_22_adversary.py"),
+        Experiment("Fig. 23", "weak scaling of all schemes",
+                   "test_fig23_weak_scaling_schemes.py"),
+        Experiment("Table 3", "one-step HP error at seq noise floor",
+                   "test_table3_scheme_error.py"),
+        Experiment("Fig. 24", "parallel multinomial strong scaling",
+                   "test_fig24_25_multinomial.py"),
+        Experiment("Fig. 25", "parallel multinomial weak scaling",
+                   "test_fig24_25_multinomial.py"),
+        Experiment("Endurance", "115B-switch capability projection",
+                   "test_endurance_projection.py"),
+        # ablations / extensions beyond the paper's figures
+        Experiment("Ablation: spans", "reduced lists confine switches "
+                   "to <= 3 ranks", "test_ablation_design_choices.py"),
+        Experiment("Ablation: refresh", "probability refresh tracks the "
+                   "sequential process", "test_ablation_design_choices.py"),
+        Experiment("Ext: mixing", "x=1 budget suffices for metric mixing",
+                   "test_ext_mixing.py"),
+        Experiment("Ext: pairing model", "configuration-model defect "
+                   "rates motivate switching",
+                   "test_ext_configuration_motivation.py"),
+        Experiment("Ext: drift", "per-step CP edge drift vs HP stability",
+                   "test_ext_drift_trajectory.py"),
+        Experiment("Ext: analytics", "distributed BFS/clustering on the "
+                   "same machine", "test_ext_distributed_analytics.py"),
+    ]
+}

@@ -1,0 +1,27 @@
+"""Graph substrate: data structures, generators, metrics, and I/O.
+
+The two central representations are:
+
+* :class:`~repro.graphs.graph.SimpleGraph` — full adjacency sets, the
+  natural structure for the sequential algorithm (Section 3);
+* :class:`~repro.graphs.reduced.ReducedAdjacencyGraph` — the *reduced
+  adjacency list* of Section 4.2, where edge ``(u, v)`` with ``u < v``
+  is stored only under ``u``; this is what gets partitioned across
+  ranks in the parallel algorithms.
+"""
+
+from repro.graphs.graph import SimpleGraph
+from repro.graphs.reduced import ReducedAdjacencyGraph
+from repro.graphs.degree import (
+    degree_sequence,
+    is_graphical,
+    havel_hakimi,
+)
+
+__all__ = [
+    "SimpleGraph",
+    "ReducedAdjacencyGraph",
+    "degree_sequence",
+    "is_graphical",
+    "havel_hakimi",
+]

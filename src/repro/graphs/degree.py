@@ -1,0 +1,113 @@
+"""Degree-sequence utilities: Erdős–Gallai test and Havel–Hakimi
+construction.
+
+The paper's motivating application (Section 1) is random graph
+generation with a given degree sequence: build *one* realisation with
+Havel–Hakimi, then randomise it with edge switches.  These are the
+pieces that feed the switching algorithms.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence
+
+from repro.errors import DegreeSequenceError
+from repro.graphs.graph import SimpleGraph
+
+__all__ = ["degree_sequence", "is_graphical", "havel_hakimi"]
+
+
+def degree_sequence(graph: SimpleGraph) -> List[int]:
+    """Degrees in vertex-label order (free-function alias, for symmetry
+    with the other utilities here)."""
+    return graph.degree_sequence()
+
+
+def is_graphical(degrees: Sequence[int]) -> bool:
+    """Erdős–Gallai test: is ``degrees`` realisable by a simple graph?
+
+    A sequence ``d_1 >= ... >= d_n`` is graphical iff the sum is even and
+    for every ``k``:
+
+    .. math::
+
+        \\sum_{i=1}^{k} d_i \\le k(k-1) + \\sum_{i=k+1}^{n} \\min(d_i, k)
+
+    ``O(n log n)``: sort once, then evaluate each inequality with prefix
+    sums and a binary search for the ``min``-split point.
+    """
+    n = len(degrees)
+    if n == 0:
+        return True
+    if any(d < 0 or d >= n for d in degrees):
+        return False
+    if sum(degrees) % 2 != 0:
+        return False
+    d = sorted(degrees, reverse=True)
+    prefix = [0]
+    for val in d:
+        prefix.append(prefix[-1] + val)
+
+    def tail_min_sum(k: int) -> int:
+        # sum over i in [k, n) of min(d[i], k); d is descending so the
+        # entries > k form a prefix of d[k:].  Binary-search its end.
+        lo, hi = k, n
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if d[mid] > k:
+                lo = mid + 1
+            else:
+                hi = mid
+        big = lo - k  # entries strictly greater than k
+        return big * k + (prefix[n] - prefix[lo])
+
+    for k in range(1, n + 1):
+        if prefix[k] > k * (k - 1) + tail_min_sum(k):
+            return False
+    return True
+
+
+def havel_hakimi(degrees: Sequence[int]) -> SimpleGraph:
+    """Construct a simple graph realising ``degrees`` (Havel–Hakimi).
+
+    Deterministic: always connects the highest-residual-degree vertex to
+    the next-highest ones.  Combined with edge switching this yields a
+    *random* graph with the same degree sequence (the paper's primary
+    use case).  Raises :class:`DegreeSequenceError` if the sequence is
+    not graphical.
+
+    ``O(m log n)`` using a max-heap of residual degrees.
+    """
+    n = len(degrees)
+    for i, d in enumerate(degrees):
+        if d < 0:
+            raise DegreeSequenceError(f"negative degree {d} at vertex {i}")
+        if d >= n:
+            raise DegreeSequenceError(
+                f"degree {d} at vertex {i} impossible with {n} vertices"
+            )
+    if sum(degrees) % 2 != 0:
+        raise DegreeSequenceError("degree sum is odd")
+
+    graph = SimpleGraph(n)
+    heap = [(-d, v) for v, d in enumerate(degrees) if d > 0]
+    heapq.heapify(heap)
+    while heap:
+        neg_d, u = heapq.heappop(heap)
+        d = -neg_d
+        if len(heap) < d:
+            raise DegreeSequenceError("sequence is not graphical")
+        taken = []
+        for _ in range(d):
+            neg_dv, v = heapq.heappop(heap)
+            taken.append((-neg_dv, v))
+        for dv, v in taken:
+            if dv <= 0:
+                raise DegreeSequenceError("sequence is not graphical")
+            graph.add_edge(u, v)
+            if dv - 1 > 0:
+                heapq.heappush(heap, (-(dv - 1), v))
+    if graph.degree_sequence() != list(degrees):
+        raise DegreeSequenceError("sequence is not graphical")
+    return graph

@@ -1,0 +1,27 @@
+"""Random-graph generators used to build the evaluation datasets.
+
+Exact counterparts of the models named in Table 2 of the paper
+(Erdős–Rényi, Watts–Strogatz small world, preferential attachment) plus
+two structural stand-ins for the real datasets we cannot ship: a
+clustered *contact network* generator (Miami / New York / Los Angeles)
+and a heavy-tailed *community* generator (Flickr / LiveJournal).
+"""
+
+from repro.graphs.generators.erdos_renyi import erdos_renyi_gnm, erdos_renyi_gnp
+from repro.graphs.generators.small_world import watts_strogatz
+from repro.graphs.generators.preferential import preferential_attachment
+from repro.graphs.generators.contact import contact_network
+from repro.graphs.generators.community import community_network
+from repro.graphs.generators.bipartite import bipartite_gnm
+from repro.graphs.generators.configuration import configuration_model
+
+__all__ = [
+    "configuration_model",
+    "erdos_renyi_gnm",
+    "erdos_renyi_gnp",
+    "watts_strogatz",
+    "preferential_attachment",
+    "contact_network",
+    "community_network",
+    "bipartite_gnm",
+]

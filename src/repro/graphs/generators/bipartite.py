@@ -1,0 +1,37 @@
+"""Random bipartite graphs — substrate for the bipartite switching
+application (paper ref. [6]: randomly labelled bipartite graphs with a
+given degree sequence).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import GraphError
+from repro.graphs.graph import SimpleGraph
+from repro.util.rng import RngStream
+
+__all__ = ["bipartite_gnm"]
+
+
+def bipartite_gnm(
+    n_left: int, n_right: int, m: int, rng: RngStream
+) -> Tuple[SimpleGraph, List[int]]:
+    """Uniform bipartite graph with ``m`` edges between sides of size
+    ``n_left`` (labels ``0 .. n_left-1``) and ``n_right`` (the rest).
+
+    Returns ``(graph, left_labels)`` — the second element feeds
+    :func:`repro.core.variants.bipartite_edge_switch` directly.
+    """
+    if n_left < 1 or n_right < 1:
+        raise GraphError("both sides need at least one vertex")
+    if m > n_left * n_right:
+        raise GraphError(
+            f"cannot place {m} edges between {n_left} x {n_right} vertices")
+    g = SimpleGraph(n_left + n_right)
+    while g.num_edges < m:
+        u = rng.randint(n_left)
+        v = n_left + rng.randint(n_right)
+        if not g.has_edge(u, v):
+            g.add_edge(u, v)
+    return g, list(range(n_left))

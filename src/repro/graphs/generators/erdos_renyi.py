@@ -1,0 +1,48 @@
+"""Erdős–Rényi random graphs, G(n, m) and G(n, p) variants.
+
+The paper's "Erdős–Rényi" dataset has a fixed edge count (4.8M vertices,
+48M edges), which is the G(n, m) model; we provide G(n, p) as well for
+completeness.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.graphs.graph import SimpleGraph
+from repro.rvgen.binomial import binomial
+from repro.util.rng import RngStream
+
+__all__ = ["erdos_renyi_gnm", "erdos_renyi_gnp"]
+
+
+def erdos_renyi_gnm(n: int, m: int, rng: RngStream) -> SimpleGraph:
+    """Uniform simple graph with exactly ``n`` vertices and ``m`` edges.
+
+    Rejection sampling of endpoint pairs; expected ``O(m)`` while the
+    graph stays sparse (``m`` well below ``n(n-1)/2``).
+    """
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise GraphError(f"cannot place {m} edges in a simple graph on {n} vertices")
+    g = SimpleGraph(n)
+    while g.num_edges < m:
+        u = rng.randint(n)
+        v = rng.randint(n)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+    return g
+
+
+def erdos_renyi_gnp(n: int, p: float, rng: RngStream) -> SimpleGraph:
+    """G(n, p): each of the ``n(n-1)/2`` pairs is an edge independently
+    with probability ``p``.
+
+    Implemented by drawing the edge count ``M ~ Binomial(n(n-1)/2, p)``
+    and delegating to :func:`erdos_renyi_gnm`, which is equivalent in
+    distribution and ``O(M)`` instead of ``O(n²)``.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"edge probability must be in [0, 1], got {p}")
+    max_edges = n * (n - 1) // 2
+    m = binomial(max_edges, p, rng)
+    return erdos_renyi_gnm(n, m, rng)

@@ -1,0 +1,114 @@
+"""Collectives composed from point-to-point messages.
+
+The engine prices built-in collectives analytically (a tree schedule);
+this module implements the same collectives as *actual message
+patterns* over send/recv, which serves two purposes:
+
+1. validation — the composed versions must return the same results as
+   the built-ins on every backend, and their simulated completion time
+   must scale like the analytic model (O(log p) rounds), which the
+   test suite checks;
+2. pedagogy/extension — experiments that need a collective the engine
+   does not price (e.g. a ring allgather) can build it here.
+
+All functions are rank-program fragments: ``yield from`` them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.mpsim.context import RankContext, reduce_values
+
+__all__ = [
+    "tree_bcast",
+    "tree_reduce",
+    "tree_allreduce",
+    "ring_allgather",
+    "dissemination_barrier",
+]
+
+_TAG_TREE = 9001
+_TAG_RING = 9002
+_TAG_BARRIER = 9003
+
+
+def _vtree(rank: int, root: int, p: int):
+    """Virtual binomial-tree coordinates with ``root`` relabelled to 0."""
+    virt = (rank - root) % p
+    parent = None if virt == 0 else (((virt - 1) // 2) + root) % p
+    children = [((c + root) % p) for c in (2 * virt + 1, 2 * virt + 2)
+                if c < p]
+    return parent, children
+
+
+def tree_bcast(ctx: RankContext, value: Any = None, root: int = 0,
+               nbytes: int = 64):
+    """Binomial-tree broadcast built from sends/recvs."""
+    parent, children = _vtree(ctx.rank, root, ctx.size)
+    if parent is not None:
+        msg = yield from ctx.recv(source=parent, tag=_TAG_TREE)
+        value = msg.payload
+    for child in children:
+        yield from ctx.send(child, _TAG_TREE, value, nbytes=nbytes)
+    return value
+
+
+def tree_reduce(ctx: RankContext, value: Any, op: str = "sum",
+                root: int = 0, nbytes: int = 64):
+    """Binomial-tree reduction; the result lands at ``root`` (None
+    elsewhere)."""
+    parent, children = _vtree(ctx.rank, root, ctx.size)
+    acc = [value]
+    for _ in children:
+        msg = yield from ctx.recv(tag=_TAG_TREE)
+        acc.append(msg.payload)
+    reduced = reduce_values(acc, op)
+    if parent is not None:
+        yield from ctx.send(parent, _TAG_TREE, reduced, nbytes=nbytes)
+        return None
+    return reduced
+
+
+def tree_allreduce(ctx: RankContext, value: Any, op: str = "sum",
+                   nbytes: int = 64):
+    """Reduce to rank 0, then broadcast back — 2·log p rounds."""
+    reduced = yield from tree_reduce(ctx, value, op=op, root=0,
+                                     nbytes=nbytes)
+    result = yield from tree_bcast(ctx, reduced, root=0, nbytes=nbytes)
+    return result
+
+
+def ring_allgather(ctx: RankContext, value: Any, nbytes: int = 64):
+    """Ring allgather: p−1 rounds, each rank forwards what it just
+    received to its successor.  O(p) latency but bandwidth-optimal —
+    the classic contrast to the tree's O(log p)."""
+    p = ctx.size
+    out: List[Any] = [None] * p
+    out[ctx.rank] = value
+    nxt = (ctx.rank + 1) % p
+    prv = (ctx.rank - 1) % p
+    carry = (ctx.rank, value)
+    for _ in range(p - 1):
+        yield from ctx.send(nxt, _TAG_RING, carry, nbytes=nbytes)
+        msg = yield from ctx.recv(source=prv, tag=_TAG_RING)
+        origin, payload = msg.payload
+        out[origin] = payload
+        carry = (origin, payload)
+    return out
+
+
+def dissemination_barrier(ctx: RankContext):
+    """Dissemination barrier: ⌈log₂ p⌉ rounds; in round k each rank
+    signals the rank 2^k ahead and waits for the one 2^k behind."""
+    p = ctx.size
+    step = 1
+    round_no = 0
+    while step < p:
+        dest = (ctx.rank + step) % p
+        src = (ctx.rank - step) % p
+        yield from ctx.send(dest, _TAG_BARRIER + round_no, None, nbytes=8)
+        yield from ctx.recv(source=src, tag=_TAG_BARRIER + round_no)
+        step *= 2
+        round_no += 1
+    return None

@@ -1,0 +1,365 @@
+"""Conservative discrete-event engine executing rank programs.
+
+Scheduling rule: events are processed in strictly non-decreasing global
+time, so when a rank resolves a synchronising op (receive, probe,
+collective join) every other rank's clock is already at or beyond that
+time — no message can later appear "in the past".  Purely local ops
+(:class:`Compute`) and :class:`Send` (buffered, asynchronous) are
+batched without returning to the event heap, which keeps the event
+count proportional to the number of *synchronising* ops rather than all
+ops.
+
+Determinism: ties on the heap are broken by rank id, messages are FIFO
+per (source, dest) pair, and all randomness comes from per-rank
+spawned streams — the same master seed always yields the same trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.errors import DeadlockError, SimulationError
+from repro.mpsim.context import RankContext, reduce_values
+from repro.mpsim.costmodel import CostModel
+from repro.mpsim.ops import (
+    Collective,
+    Compute,
+    Message,
+    Probe,
+    Recv,
+    Send,
+)
+from repro.mpsim.trace import RankTrace
+
+__all__ = ["SimulationEngine"]
+
+# Rank status values.
+_READY = 0
+_BLOCKED_RECV = 1
+_BLOCKED_COLL = 2
+_DONE = 3
+
+# Minimum spacing enforcing FIFO per channel.
+_FIFO_EPS = 1e-9
+
+
+class _RankState:
+    """Mutable per-rank bookkeeping."""
+
+    __slots__ = (
+        "rid", "gen", "clock", "status", "mailbox", "want_source",
+        "want_tag", "block_clock", "token", "coll_seq", "resume_value",
+        "pending_op", "value", "trace",
+    )
+
+    def __init__(self, rid: int, gen: Generator):
+        self.rid = rid
+        self.gen = gen
+        self.clock = 0.0
+        self.status = _READY
+        self.mailbox: List[Message] = []
+        self.want_source = 0
+        self.want_tag = 0
+        self.block_clock = 0.0
+        self.token = 0
+        self.coll_seq = 0
+        self.resume_value: Any = None
+        self.pending_op: Any = None
+        self.value: Any = None
+        self.trace = RankTrace(rid)
+
+
+class SimulationEngine:
+    """Executes one SPMD run of ``num_ranks`` rank programs."""
+
+    def __init__(
+        self,
+        generators: List[Generator],
+        cost_model: CostModel,
+        max_events: int = 500_000_000,
+    ):
+        self.p = len(generators)
+        if self.p < 1:
+            raise SimulationError("need at least one rank")
+        self.cm = cost_model
+        self.max_events = max_events
+        self.ranks = [_RankState(i, g) for i, g in enumerate(generators)]
+        self._heap: List[Tuple[float, int, int]] = []
+        self._fifo_last: Dict[Tuple[int, int], float] = {}
+        self._coll_slots: Dict[int, Dict[int, Tuple[Collective, float]]] = {}
+        self._finished = 0
+
+    # -- public ---------------------------------------------------------
+
+    def run(self) -> float:
+        """Run to completion; returns the simulated makespan."""
+        for state in self.ranks:
+            self._push(state, 0.0)
+        events = 0
+        while self._finished < self.p:
+            if not self._heap:
+                self._raise_deadlock()
+            time, rid, token = heapq.heappop(self._heap)
+            state = self.ranks[rid]
+            if state.status == _DONE or token != state.token:
+                continue  # stale event
+            events += 1
+            if events > self.max_events:
+                raise SimulationError(
+                    f"event budget exceeded ({self.max_events}); "
+                    "likely a livelock in a rank program"
+                )
+            if state.status == _BLOCKED_RECV:
+                self._complete_recv(state, time)
+                if state.status == _READY:
+                    self._advance(state, state.clock)
+            elif state.status == _READY:
+                self._advance(state, time)
+            else:  # BLOCKED_COLL ranks are resumed via _finish_collective
+                raise SimulationError(
+                    f"rank {rid}: unexpected event while blocked on a collective"
+                )
+        return max(st.trace.finish_time for st in self.ranks)
+
+    def values(self) -> List[Any]:
+        """Rank-program return values, in rank order."""
+        return [st.value for st in self.ranks]
+
+    def traces(self) -> List[RankTrace]:
+        return [st.trace for st in self.ranks]
+
+    # -- scheduling -------------------------------------------------------
+
+    def _push(self, state: _RankState, time: float) -> None:
+        state.token += 1
+        heapq.heappush(self._heap, (time, state.rid, state.token))
+
+    def _raise_deadlock(self) -> None:
+        blocked = []
+        for st in self.ranks:
+            if st.status == _BLOCKED_RECV:
+                blocked.append(
+                    f"rank {st.rid} waiting for (source={st.want_source}, "
+                    f"tag={st.want_tag}) at t={st.block_clock:.3f}"
+                )
+            elif st.status == _BLOCKED_COLL:
+                blocked.append(f"rank {st.rid} waiting in a collective")
+        raise DeadlockError(
+            "no runnable rank and no pending event; blocked ranks:\n  "
+            + "\n  ".join(blocked)
+        )
+
+    # -- op execution ----------------------------------------------------------
+
+    def _advance(self, state: _RankState, t_pop: float) -> None:
+        """Drive ``state``'s generator until it blocks, defers, or ends."""
+        cm = self.cm
+        value = state.resume_value
+        state.resume_value = None
+        op = state.pending_op
+        state.pending_op = None
+        while True:
+            if op is None:
+                try:
+                    op = state.gen.send(value)
+                except StopIteration as stop:
+                    state.status = _DONE
+                    state.value = stop.value
+                    state.trace.finish_time = state.clock
+                    self._finished += 1
+                    return
+                except Exception:
+                    state.status = _DONE
+                    self._finished += 1
+                    raise
+                value = None
+            kind = type(op)
+            if kind is Compute:
+                state.clock += op.cost
+                state.trace.record_compute(op.cost)
+                op = None
+                continue
+            if kind is Send:
+                self._do_send(state, op)
+                op = None
+                continue
+            # Synchronising ops must resolve at the global minimum time.
+            if state.clock > t_pop:
+                state.pending_op = op
+                self._push(state, state.clock)
+                return
+            if kind is Probe:
+                value = self._probe_now(state, op)
+                op = None
+                continue
+            if kind is Recv:
+                if self._try_recv(state, op):
+                    value = state.resume_value
+                    state.resume_value = None
+                    op = None
+                    continue
+                return  # blocked
+            if kind is Collective:
+                self._join_collective(state, op)
+                return
+            raise SimulationError(f"rank {state.rid} yielded unknown op {op!r}")
+
+    def _do_send(self, state: _RankState, op: Send) -> None:
+        if not 0 <= op.dest < self.p:
+            raise SimulationError(
+                f"rank {state.rid} sent to invalid rank {op.dest}"
+            )
+        cm = self.cm
+        state.clock += cm.send_overhead
+        arrival = state.clock + cm.wire_time(op.nbytes)
+        chan = (state.rid, op.dest)
+        last = self._fifo_last.get(chan)
+        if last is not None and arrival <= last:
+            arrival = last + _FIFO_EPS
+        self._fifo_last[chan] = arrival
+        msg = Message(state.rid, op.tag, op.payload, arrival)
+        dest = self.ranks[op.dest]
+        dest.mailbox.append(msg)
+        state.trace.record_send(op.nbytes)
+        state.trace.record_compute(cm.send_overhead)
+        if dest.status == _BLOCKED_RECV and msg.matches(dest.want_source, dest.want_tag):
+            wake = max(dest.block_clock, arrival)
+            self._push(dest, wake)
+
+    def _probe_now(self, state: _RankState, op: Probe) -> bool:
+        now = state.clock
+        for msg in state.mailbox:
+            if msg.arrival <= now and msg.matches(op.source, op.tag):
+                return True
+        return False
+
+    def _try_recv(self, state: _RankState, op: Recv) -> bool:
+        """Complete the receive if a matching message has arrived;
+        otherwise block the rank.  Returns True on completion."""
+        now = state.clock
+        best_idx = -1
+        best_arrival = float("inf")
+        earliest_future = None
+        for idx, msg in enumerate(state.mailbox):
+            if not msg.matches(op.source, op.tag):
+                continue
+            if msg.arrival <= now:
+                if msg.arrival < best_arrival:
+                    best_arrival = msg.arrival
+                    best_idx = idx
+            elif earliest_future is None or msg.arrival < earliest_future:
+                earliest_future = msg.arrival
+        if best_idx >= 0:
+            msg = state.mailbox.pop(best_idx)
+            state.clock += self.cm.recv_overhead
+            state.trace.record_recv()
+            state.trace.record_compute(self.cm.recv_overhead)
+            state.resume_value = msg
+            return True
+        state.status = _BLOCKED_RECV
+        state.want_source = op.source
+        state.want_tag = op.tag
+        state.block_clock = now
+        if earliest_future is not None:
+            self._push(state, earliest_future)
+        return False
+
+    def _complete_recv(self, state: _RankState, time: float) -> None:
+        """Wake event for a blocked receiver: consume the earliest
+        matching arrived message."""
+        best_idx = -1
+        best_arrival = float("inf")
+        for idx, msg in enumerate(state.mailbox):
+            if (msg.arrival <= time
+                    and msg.matches(state.want_source, state.want_tag)
+                    and msg.arrival < best_arrival):
+                best_arrival = msg.arrival
+                best_idx = idx
+        if best_idx < 0:
+            # The message this wake announced was consumed is impossible
+            # (only this rank consumes its mailbox); treat as fault.
+            raise SimulationError(
+                f"rank {state.rid}: wake at t={time} with no matching message"
+            )
+        msg = state.mailbox.pop(best_idx)
+        state.clock = max(state.block_clock, msg.arrival) + self.cm.recv_overhead
+        state.status = _READY
+        state.trace.record_recv()
+        state.trace.record_compute(self.cm.recv_overhead)
+        state.resume_value = msg
+
+    # -- collectives -------------------------------------------------------------
+
+    def _join_collective(self, state: _RankState, op: Collective) -> None:
+        seq = state.coll_seq
+        state.coll_seq += 1
+        slot = self._coll_slots.setdefault(seq, {})
+        if slot:
+            first_op = next(iter(slot.values()))[0]
+            if first_op.kind != op.kind or first_op.root != op.root:
+                raise SimulationError(
+                    f"collective mismatch at seq {seq}: rank {state.rid} "
+                    f"issued {op.kind!r}, others issued {first_op.kind!r}"
+                )
+        if state.rid in slot:
+            raise SimulationError(
+                f"rank {state.rid} joined collective seq {seq} twice"
+            )
+        slot[state.rid] = (op, state.clock)
+        state.status = _BLOCKED_COLL
+        state.trace.record_collective()
+        if len(slot) == self.p:
+            self._finish_collective(seq, slot)
+
+    def _finish_collective(
+        self, seq: int, slot: Dict[int, Tuple[Collective, float]]
+    ) -> None:
+        any_op = slot[0][0]
+        arrive = max(clock for _, clock in slot.values())
+        nbytes = max(op.nbytes for op, _ in slot.values())
+        t_done = arrive + self.cm.collective_time(any_op.kind, self.p, nbytes)
+        results = _collective_results(
+            any_op.kind, any_op.root, any_op.op,
+            [slot[r][0].value for r in range(self.p)], self.p,
+        )
+        del self._coll_slots[seq]
+        for rid in range(self.p):
+            st = self.ranks[rid]
+            st.clock = t_done
+            st.status = _READY
+            st.resume_value = results[rid]
+            self._push(st, t_done)
+
+
+def _collective_results(
+    kind: str, root: int, redop: str, values: List[Any], p: int
+) -> List[Any]:
+    """Per-rank results of a completed collective (shared with the
+    threads backend)."""
+    if kind == "barrier":
+        return [None] * p
+    if kind == "allgather":
+        return [list(values) for _ in range(p)]
+    if kind == "allreduce":
+        reduced = reduce_values(values, redop)
+        return [reduced] * p
+    if kind == "bcast":
+        return [values[root]] * p
+    if kind == "gather":
+        return [list(values) if r == root else None for r in range(p)]
+    if kind == "scatter":
+        seq = values[root]
+        if seq is None or len(seq) != p:
+            raise SimulationError(
+                f"scatter root must supply exactly {p} values"
+            )
+        return list(seq)
+    if kind == "alltoall":
+        for v in values:
+            if v is None or len(v) != p:
+                raise SimulationError(
+                    f"alltoall requires {p} values from every rank"
+                )
+        return [[values[j][i] for j in range(p)] for i in range(p)]
+    raise SimulationError(f"unknown collective kind {kind!r}")

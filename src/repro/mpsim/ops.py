@@ -1,0 +1,132 @@
+"""Communication primitives yielded by rank programs.
+
+A rank program is a generator; each ``yield`` hands one of these ops to
+the executing backend, which resumes the generator with the op's result
+(via ``generator.send``).  Higher-level helpers in
+:mod:`repro.mpsim.context` wrap them so user code reads
+``value = yield from ctx.recv(...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Message",
+    "Compute",
+    "Send",
+    "Recv",
+    "Probe",
+    "Collective",
+    "COLLECTIVE_KINDS",
+]
+
+#: Wildcard for :class:`Recv`/:class:`Probe` source matching.
+ANY_SOURCE = -1
+#: Wildcard for :class:`Recv`/:class:`Probe` tag matching.
+ANY_TAG = -1
+
+#: Assumed size of a protocol message when the sender gives no hint.
+DEFAULT_MSG_BYTES = 64
+
+
+@dataclass(frozen=True)
+class Message:
+    """A delivered message as seen by the receiver."""
+
+    source: int
+    tag: int
+    payload: Any
+    #: Simulated arrival time (0.0 under the threads backend).
+    arrival: float = 0.0
+
+    def matches(self, source: int, tag: int) -> bool:
+        """Wildcard-aware match against a receive specification."""
+        return (source == ANY_SOURCE or source == self.source) and (
+            tag == ANY_TAG or tag == self.tag
+        )
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Charge ``cost`` units of local computation to the rank's clock."""
+
+    cost: float
+
+
+@dataclass(frozen=True)
+class Send:
+    """Asynchronous point-to-point send (buffered, never blocks).
+
+    Channels are FIFO per (source, dest) pair — the termination
+    handshake of the switching protocol relies on it, as real MPI
+    programs rely on MPI's per-pair ordering guarantee.
+    """
+
+    dest: int
+    tag: int
+    payload: Any = None
+    nbytes: int = DEFAULT_MSG_BYTES
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Blocking receive; resumes the rank with a :class:`Message`."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+
+
+@dataclass(frozen=True)
+class Probe:
+    """Non-blocking probe; resumes with True iff a matching message has
+    already arrived (it is *not* consumed)."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+
+
+#: Collective kinds understood by both backends.
+COLLECTIVE_KINDS = (
+    "barrier",
+    "allgather",
+    "allreduce",
+    "bcast",
+    "gather",
+    "scatter",
+    "alltoall",
+)
+
+
+@dataclass(frozen=True)
+class Collective:
+    """A synchronising collective over all ranks.
+
+    All ranks must issue the same sequence of collectives with the same
+    ``kind`` (SPMD discipline); the backends verify this and raise
+    :class:`~repro.errors.SimulationError` on mismatch.
+
+    ``value`` semantics by kind:
+
+    ========== ============================== =========================
+    kind        value                          result per rank
+    ========== ============================== =========================
+    barrier     ignored                        None
+    allgather   any                            list of all values
+    allreduce   number / tuple of numbers      elementwise reduction
+    bcast       root's value used              root's value
+    gather      any                            list at root, None else
+    scatter     sequence of p values at root   own element
+    alltoall    sequence of p values           column gathered from all
+    ========== ============================== =========================
+    """
+
+    kind: str
+    value: Any = None
+    root: int = 0
+    #: reduction for allreduce: "sum", "max" or "min"
+    op: str = "sum"
+    nbytes: int = DEFAULT_MSG_BYTES

@@ -1,0 +1,294 @@
+"""Real-processes backend: rank programs on ``multiprocessing``.
+
+The third interpreter for the same op set: every rank is an OS process
+with its own memory, and all communication crosses real process
+boundaries through pipes — the closest offline stand-in for the
+paper's MPI deployment.  Where the threads backend validates the
+protocol under preemptive interleaving, this backend validates that
+nothing relies on shared memory: payloads, per-rank args, and return
+values must all survive pickling, exactly as they must survive MPI
+serialisation.
+
+Topology: a star of ``multiprocessing.Pipe`` duplex connections to a
+router thread in the parent.  The router forwards point-to-point
+messages (preserving per-channel FIFO) and sequences collectives with
+the same result semantics as the other backends
+(:func:`repro.mpsim.engine._collective_results`).
+
+Use small rank counts (≤ 8): process startup dominates.  ``Compute``
+is a no-op; ``sim_time`` reports wall-clock seconds.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import time as _time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import DeadlockError, SimulationError
+from repro.mpsim.cluster import RunResult
+from repro.mpsim.context import RankContext, RankProgram
+from repro.mpsim.engine import _collective_results
+from repro.mpsim.ops import (
+    Collective,
+    Compute,
+    Message,
+    Probe,
+    Recv,
+    Send,
+)
+from repro.mpsim.trace import ClusterTrace, RankTrace
+from repro.util.rng import RngStream
+
+__all__ = ["ProcessCluster"]
+
+# router <-> worker wire commands
+_MSG = "msg"            # point-to-point payload delivery
+_COLL = "coll"          # collective join / result
+_DONE = "done"          # worker finished (value attached)
+_FAIL = "fail"          # worker raised (repr attached)
+_STOP = "stop"          # router tells worker to abort
+
+
+def _worker_main(rank: int, size: int, program: RankProgram, args: Any,
+                 seed_material: Tuple, conn) -> None:
+    """Child-process body: interpret the rank program's ops, routing
+    all communication through ``conn`` (a Pipe to the router)."""
+    rng = RngStream(seed_material)
+    ctx = RankContext(rank, size, rng, args)
+    gen = program(ctx)
+    mailbox: List[Message] = []
+    trace = {"sent": 0, "received": 0, "collectives": 0}
+
+    def pump_until(predicate, timeout=60.0):
+        deadline = _time.monotonic() + timeout
+        while not predicate():
+            remaining = deadline - _time.monotonic()
+            if remaining <= 0:
+                raise DeadlockError(f"rank {rank}: receive timed out")
+            if conn.poll(min(remaining, 0.2)):
+                kind, payload = conn.recv()
+                if kind == _MSG:
+                    mailbox.append(payload)
+                elif kind == _COLL:
+                    coll_results.append(payload)
+                elif kind == _STOP:
+                    raise SimulationError("aborting: another rank failed")
+                else:
+                    raise SimulationError(f"unexpected router frame {kind}")
+
+    def drain_pending():
+        while conn.poll(0):
+            kind, payload = conn.recv()
+            if kind == _MSG:
+                mailbox.append(payload)
+            elif kind == _COLL:
+                coll_results.append(payload)
+            elif kind == _STOP:
+                raise SimulationError("aborting: another rank failed")
+
+    coll_results: List[Any] = []
+    value: Any = None
+    try:
+        while True:
+            try:
+                op = gen.send(value)
+            except StopIteration as stop:
+                conn.send((_DONE, (stop.value, trace)))
+                return
+            value = None
+            kind = type(op)
+            if kind is Compute:
+                continue
+            if kind is Send:
+                conn.send((_MSG, (op.dest, Message(rank, op.tag,
+                                                   op.payload, 0.0))))
+                trace["sent"] += 1
+            elif kind is Recv:
+                def match():
+                    return any(m.matches(op.source, op.tag) for m in mailbox)
+                drain_pending()
+                pump_until(match)
+                for idx, m in enumerate(mailbox):
+                    if m.matches(op.source, op.tag):
+                        value = mailbox.pop(idx)
+                        trace["received"] += 1
+                        break
+            elif kind is Probe:
+                drain_pending()
+                value = any(m.matches(op.source, op.tag) for m in mailbox)
+            elif kind is Collective:
+                conn.send((_COLL, op))
+                trace["collectives"] += 1
+                drain_pending()
+                pump_until(lambda: coll_results)
+                value = coll_results.pop(0)
+            else:
+                raise SimulationError(f"rank {rank}: unknown op {op!r}")
+    except BaseException as exc:
+        try:
+            conn.send((_FAIL, f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+
+
+class _Router(threading.Thread):
+    """Parent-side router: forwards messages, sequences collectives."""
+
+    def __init__(self, conns, p: int):
+        super().__init__(name="mpsim-router", daemon=True)
+        self.conns = conns
+        self.p = p
+        self.done: Dict[int, Any] = {}
+        self.traces: Dict[int, Dict] = {}
+        self.failure: Optional[str] = None
+        self.coll_slots: Dict[int, Dict[int, Collective]] = {}
+        self.coll_seq_of = [0] * p
+
+    def run(self) -> None:
+        live = set(range(self.p))
+        while live:
+            for rank in list(live):
+                conn = self.conns[rank]
+                if not conn.poll(0.01):
+                    continue
+                try:
+                    kind, payload = conn.recv()
+                except EOFError:
+                    live.discard(rank)
+                    continue
+                if kind == _MSG:
+                    dest, msg = payload
+                    if not 0 <= dest < self.p:
+                        self.failure = f"rank {rank} sent to invalid {dest}"
+                        self._abort(live)
+                        return
+                    self.conns[dest].send((_MSG, msg))
+                elif kind == _COLL:
+                    self._join(rank, payload, live)
+                    if self.failure:
+                        self._abort(live)
+                        return
+                elif kind == _DONE:
+                    value, trace = payload
+                    self.done[rank] = value
+                    self.traces[rank] = trace
+                    live.discard(rank)
+                elif kind == _FAIL:
+                    self.failure = f"rank {rank}: {payload}"
+                    self._abort(live)
+                    return
+
+    def _join(self, rank: int, op: Collective, live) -> None:
+        seq = self.coll_seq_of[rank]
+        self.coll_seq_of[rank] += 1
+        slot = self.coll_slots.setdefault(seq, {})
+        if slot:
+            first = next(iter(slot.values()))
+            if first.kind != op.kind or first.root != op.root:
+                self.failure = (
+                    f"collective mismatch at seq {seq}: {op.kind!r} vs "
+                    f"{first.kind!r}")
+                return
+        slot[rank] = op
+        if len(slot) == self.p:
+            try:
+                values = [slot[r].value for r in range(self.p)]
+                results = _collective_results(
+                    op.kind, op.root, op.op, values, self.p)
+            except SimulationError as exc:
+                self.failure = str(exc)
+                return
+            del self.coll_slots[seq]
+            for r in range(self.p):
+                self.conns[r].send((_COLL, results[r]))
+
+    def _abort(self, live) -> None:
+        for rank in live:
+            try:
+                self.conns[rank].send((_STOP, None))
+            except Exception:
+                pass
+
+
+class ProcessCluster:
+    """Drop-in alternative backend on real OS processes.
+
+    Restrictions relative to the in-process backends: ``program``,
+    per-rank args, payloads and return values must be picklable, and
+    ``program`` must be importable (defined at module top level).
+    """
+
+    def __init__(self, num_ranks: int, seed: Optional[int] = None,
+                 join_timeout: float = 120.0):
+        if num_ranks < 1:
+            raise SimulationError(f"need at least 1 rank, got {num_ranks}")
+        self.num_ranks = num_ranks
+        self.seed = seed
+        self.join_timeout = join_timeout
+
+    def run(
+        self,
+        program: RankProgram,
+        args: Any = None,
+        per_rank_args: Optional[Sequence[Any]] = None,
+    ) -> RunResult:
+        if per_rank_args is not None and len(per_rank_args) != self.num_ranks:
+            raise SimulationError(
+                f"per_rank_args has {len(per_rank_args)} entries for "
+                f"{self.num_ranks} ranks")
+        import numpy as np
+
+        base = np.random.SeedSequence(self.seed)
+        # spawned children differ by spawn_key, which does not survive a
+        # plain entropy round-trip — ship generated state words instead,
+        # which are picklable and fully determine independent streams
+        seed_words = [
+            tuple(int(w) for w in child.generate_state(4))
+            for child in base.spawn(self.num_ranks)
+        ]
+
+        ctx_conns = []
+        workers = []
+        start = _time.monotonic()
+        mp_ctx = mp.get_context("fork") if hasattr(mp, "get_context") else mp
+        for rank in range(self.num_ranks):
+            parent_end, child_end = mp_ctx.Pipe()
+            ctx_conns.append(parent_end)
+            rank_args = per_rank_args[rank] if per_rank_args is not None else args
+            proc = mp_ctx.Process(
+                target=_worker_main,
+                args=(rank, self.num_ranks, program, rank_args,
+                      seed_words[rank], child_end),
+                daemon=True,
+            )
+            workers.append(proc)
+        router = _Router(ctx_conns, self.num_ranks)
+        for proc in workers:
+            proc.start()
+        router.start()
+        router.join(self.join_timeout)
+        alive = router.is_alive()
+        for proc in workers:
+            proc.join(0.5 if not alive else 0.0)
+            if proc.is_alive():
+                proc.terminate()
+        if alive:
+            raise DeadlockError(
+                "process cluster did not finish within the join timeout")
+        if router.failure:
+            raise SimulationError(router.failure)
+        wall = _time.monotonic() - start
+
+        traces = []
+        for rank in range(self.num_ranks):
+            t = RankTrace(rank)
+            counters = router.traces.get(rank, {})
+            t.messages_sent = counters.get("sent", 0)
+            t.messages_received = counters.get("received", 0)
+            t.collectives = counters.get("collectives", 0)
+            t.finish_time = wall
+            traces.append(t)
+        values = [router.done.get(r) for r in range(self.num_ranks)]
+        return RunResult(wall, values, ClusterTrace(traces))

@@ -1,0 +1,237 @@
+"""Real-threads backend: the same rank programs, real concurrency.
+
+Purpose: the discrete-event backend is deterministic, which is good for
+experiments but means a protocol bug that only shows under unusual
+interleavings could hide.  This backend runs each rank program on an OS
+thread with shared mailboxes, so the GIL's preemption supplies genuine
+nondeterminism.  The test suite runs the full switching protocol here
+and re-checks every invariant.
+
+Timing is not modelled: :class:`Compute` is a scheduling hint only (it
+calls ``time.sleep(0)`` occasionally to encourage interleaving), and
+``RunResult.sim_time`` is wall-clock seconds.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import DeadlockError, SimulationError
+from repro.mpsim.cluster import RunResult
+from repro.mpsim.context import RankContext, RankProgram
+from repro.mpsim.engine import _collective_results
+from repro.mpsim.ops import (
+    Collective,
+    Compute,
+    Message,
+    Probe,
+    Recv,
+    Send,
+)
+from repro.mpsim.trace import ClusterTrace, RankTrace
+from repro.util.rng import spawn_streams
+
+__all__ = ["ThreadCluster"]
+
+
+class _Shared:
+    """State shared by all rank threads."""
+
+    def __init__(self, p: int):
+        self.p = p
+        self.lock = threading.Lock()
+        self.conds = [threading.Condition(self.lock) for _ in range(p)]
+        self.mailboxes: List[List[Message]] = [[] for _ in range(p)]
+        # collectives: seq -> {rank: op}; results: seq -> per-rank list
+        self.coll_pending: Dict[int, Dict[int, Collective]] = {}
+        self.coll_results: Dict[int, List[Any]] = {}
+        self.coll_consumed: Dict[int, int] = {}
+        self.coll_cond = threading.Condition(self.lock)
+        self.errors: List[BaseException] = []
+        self.abort = False
+
+
+class _RankThread(threading.Thread):
+    def __init__(self, rank: int, gen, shared: _Shared, trace: RankTrace,
+                 recv_timeout: float):
+        super().__init__(name=f"rank-{rank}", daemon=True)
+        self.rank = rank
+        self.gen = gen
+        self.shared = shared
+        self.trace = trace
+        self.recv_timeout = recv_timeout
+        self.coll_seq = 0
+        self.value: Any = None
+        self._op_count = 0
+
+    # -- thread body ------------------------------------------------------
+
+    def run(self) -> None:  # pragma: no cover - exercised via ThreadCluster
+        try:
+            self._interpret()
+        except BaseException as exc:  # propagate to the driver
+            with self.shared.lock:
+                self.shared.errors.append(exc)
+                self.shared.abort = True
+                for cond in self.shared.conds:
+                    cond.notify_all()
+                self.shared.coll_cond.notify_all()
+
+    def _interpret(self) -> None:
+        value: Any = None
+        while True:
+            try:
+                op = self.gen.send(value)
+            except StopIteration as stop:
+                self.value = stop.value
+                return
+            value = None
+            self._op_count += 1
+            if self._op_count % 64 == 0:
+                _time.sleep(0)  # encourage preemption / interleaving
+            kind = type(op)
+            if kind is Compute:
+                self.trace.record_compute(op.cost)
+            elif kind is Send:
+                self._send(op)
+            elif kind is Recv:
+                value = self._recv(op)
+            elif kind is Probe:
+                value = self._probe(op)
+            elif kind is Collective:
+                value = self._collective(op)
+            else:
+                raise SimulationError(
+                    f"rank {self.rank} yielded unknown op {op!r}"
+                )
+
+    # -- op handlers ----------------------------------------------------------
+
+    def _send(self, op: Send) -> None:
+        sh = self.shared
+        if not 0 <= op.dest < sh.p:
+            raise SimulationError(f"rank {self.rank} sent to invalid rank {op.dest}")
+        msg = Message(self.rank, op.tag, op.payload, 0.0)
+        with sh.lock:
+            sh.mailboxes[op.dest].append(msg)
+            sh.conds[op.dest].notify_all()
+        self.trace.record_send(op.nbytes)
+
+    def _recv(self, op: Recv) -> Message:
+        sh = self.shared
+        deadline = _time.monotonic() + self.recv_timeout
+        with sh.lock:
+            while True:
+                if sh.abort:
+                    raise SimulationError("aborting: another rank failed")
+                box = sh.mailboxes[self.rank]
+                for idx, msg in enumerate(box):
+                    if msg.matches(op.source, op.tag):
+                        box.pop(idx)
+                        self.trace.record_recv()
+                        return msg
+                remaining = deadline - _time.monotonic()
+                if remaining <= 0:
+                    raise DeadlockError(
+                        f"rank {self.rank} timed out waiting for "
+                        f"(source={op.source}, tag={op.tag})"
+                    )
+                sh.conds[self.rank].wait(timeout=min(remaining, 0.1))
+
+    def _probe(self, op: Probe) -> bool:
+        sh = self.shared
+        with sh.lock:
+            return any(m.matches(op.source, op.tag) for m in sh.mailboxes[self.rank])
+
+    def _collective(self, op: Collective) -> Any:
+        sh = self.shared
+        seq = self.coll_seq
+        self.coll_seq += 1
+        deadline = _time.monotonic() + self.recv_timeout
+        with sh.lock:
+            slot = sh.coll_pending.setdefault(seq, {})
+            if slot:
+                first = next(iter(slot.values()))
+                if first.kind != op.kind or first.root != op.root:
+                    sh.abort = True
+                    sh.coll_cond.notify_all()
+                    raise SimulationError(
+                        f"collective mismatch at seq {seq}: {op.kind!r} vs "
+                        f"{first.kind!r}"
+                    )
+            slot[self.rank] = op
+            self.trace.record_collective()
+            if len(slot) == sh.p:
+                values = [slot[r].value for r in range(sh.p)]
+                sh.coll_results[seq] = _collective_results(
+                    op.kind, op.root, op.op, values, sh.p
+                )
+                sh.coll_consumed[seq] = 0
+                del sh.coll_pending[seq]
+                sh.coll_cond.notify_all()
+            while seq not in sh.coll_results:
+                if sh.abort:
+                    raise SimulationError("aborting: another rank failed")
+                remaining = deadline - _time.monotonic()
+                if remaining <= 0:
+                    raise DeadlockError(
+                        f"rank {self.rank} timed out in collective seq {seq}"
+                    )
+                sh.coll_cond.wait(timeout=min(remaining, 0.1))
+            result = sh.coll_results[seq][self.rank]
+            sh.coll_consumed[seq] += 1
+            if sh.coll_consumed[seq] == sh.p:
+                del sh.coll_results[seq]
+                del sh.coll_consumed[seq]
+            return result
+
+
+class ThreadCluster:
+    """Drop-in alternative to :class:`SimulatedCluster` on real threads.
+
+    Keep ``num_ranks`` modest (≤ 32): threads are OS resources.
+    """
+
+    def __init__(self, num_ranks: int, seed: Optional[int] = None,
+                 recv_timeout: float = 30.0):
+        if num_ranks < 1:
+            raise SimulationError(f"need at least 1 rank, got {num_ranks}")
+        self.num_ranks = num_ranks
+        self.seed = seed
+        self.recv_timeout = recv_timeout
+
+    def run(
+        self,
+        program: RankProgram,
+        args: Any = None,
+        per_rank_args: Optional[Sequence[Any]] = None,
+    ) -> RunResult:
+        if per_rank_args is not None and len(per_rank_args) != self.num_ranks:
+            raise SimulationError(
+                f"per_rank_args has {len(per_rank_args)} entries for "
+                f"{self.num_ranks} ranks"
+            )
+        streams = spawn_streams(self.seed, self.num_ranks)
+        shared = _Shared(self.num_ranks)
+        threads: List[_RankThread] = []
+        start = _time.monotonic()
+        for rank in range(self.num_ranks):
+            rank_args = per_rank_args[rank] if per_rank_args is not None else args
+            ctx = RankContext(rank, self.num_ranks, streams[rank], rank_args)
+            trace = RankTrace(rank)
+            threads.append(
+                _RankThread(rank, program(ctx), shared, trace, self.recv_timeout)
+            )
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if shared.errors:
+            raise shared.errors[0]
+        wall = _time.monotonic() - start
+        traces = [t.trace for t in threads]
+        for tr in traces:
+            tr.finish_time = wall
+        return RunResult(wall, [t.value for t in threads], ClusterTrace(traces))

@@ -1,0 +1,68 @@
+"""Execution counters collected by both backends.
+
+One :class:`RankTrace` per rank; the cluster aggregates them into a
+:class:`ClusterTrace`.  The scaling benches read simulated busy time
+and message counts from here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["RankTrace", "ClusterTrace"]
+
+
+@dataclass
+class RankTrace:
+    """Counters for one rank."""
+
+    rank: int
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    compute_time: float = 0.0
+    collectives: int = 0
+    finish_time: float = 0.0
+
+    def record_send(self, nbytes: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+
+    def record_recv(self) -> None:
+        self.messages_received += 1
+
+    def record_compute(self, cost: float) -> None:
+        self.compute_time += cost
+
+    def record_collective(self) -> None:
+        self.collectives += 1
+
+
+@dataclass
+class ClusterTrace:
+    """Aggregate view over all ranks of one run."""
+
+    ranks: List[RankTrace] = field(default_factory=list)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(r.messages_sent for r in self.ranks)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.bytes_sent for r in self.ranks)
+
+    @property
+    def total_compute(self) -> float:
+        return sum(r.compute_time for r in self.ranks)
+
+    @property
+    def makespan(self) -> float:
+        """Simulated completion time (max finish over ranks)."""
+        return max((r.finish_time for r in self.ranks), default=0.0)
+
+    def compute_times(self) -> List[float]:
+        """Per-rank busy times — the workload-distribution series of
+        Figs. 19–21."""
+        return [r.compute_time for r in self.ranks]

@@ -1,0 +1,33 @@
+"""Graph partitioning schemes (Sections 4.3 and 5).
+
+All schemes partition the *vertex* set; an edge ``(u, v), u < v``
+follows its lower endpoint (reduced-adjacency-list ownership).
+
+* :class:`~repro.partition.consecutive.ConsecutivePartitioner` — CP:
+  consecutive label ranges balancing the *edge* counts;
+* :class:`~repro.partition.hashed.DivisionHashPartitioner` — HP-D;
+* :class:`~repro.partition.hashed.MultiplicationHashPartitioner` — HP-M;
+* :class:`~repro.partition.hashed.UniversalHashPartitioner` — HP-U;
+* :class:`~repro.partition.random_part.RandomPartitioner` — the
+  strawman uniform vertex assignment (needs an O(n) ownership table,
+  which is why the paper rejects it).
+"""
+
+from repro.partition.base import Partitioner, build_partitions
+from repro.partition.consecutive import ConsecutivePartitioner
+from repro.partition.hashed import (
+    DivisionHashPartitioner,
+    MultiplicationHashPartitioner,
+    UniversalHashPartitioner,
+)
+from repro.partition.random_part import RandomPartitioner
+
+__all__ = [
+    "Partitioner",
+    "build_partitions",
+    "ConsecutivePartitioner",
+    "DivisionHashPartitioner",
+    "MultiplicationHashPartitioner",
+    "UniversalHashPartitioner",
+    "RandomPartitioner",
+]

@@ -1,0 +1,64 @@
+"""Adversarial relabeling attacks on hash partitioners (Figs. 21–22).
+
+An adversary who knows the hash function can permute vertex labels so
+that the heaviest vertices all land on one rank.  For HP-D
+(``v mod p``) that means giving the ``n/p`` highest-degree vertices
+labels congruent to a chosen residue; the same construction works for
+HP-M by targeting one multiplicative bucket.  HP-U defeats the attack
+because the function is drawn at run time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.errors import PartitionError
+from repro.graphs.graph import SimpleGraph
+
+__all__ = ["relabel_graph", "adversarial_labels_division", "adversarial_labels_for"]
+
+
+def relabel_graph(graph: SimpleGraph, new_label: List[int]) -> SimpleGraph:
+    """Return a copy of ``graph`` with vertex ``v`` renamed to
+    ``new_label[v]`` (must be a permutation of ``range(n)``)."""
+    n = graph.num_vertices
+    if sorted(new_label) != list(range(n)):
+        raise PartitionError("new_label must be a permutation of range(n)")
+    out = SimpleGraph(n)
+    for u, v in graph.edges():
+        out.add_edge(new_label[u], new_label[v])
+    return out
+
+
+def adversarial_labels_for(
+    graph: SimpleGraph, num_ranks: int, owner: Callable[[int], int], target_rank: int
+) -> List[int]:
+    """Permutation that sends the highest-degree vertices to
+    ``target_rank`` under the given ownership function.
+
+    Generic construction: sort labels into "labels owned by the target
+    rank" and "the rest"; assign the former to vertices in decreasing
+    degree order.  Works against any *fixed, known* hash — exactly the
+    adversary model of Section 5.2.
+    """
+    n = graph.num_vertices
+    target_labels = [lbl for lbl in range(n) if owner(lbl) == target_rank]
+    other_labels = [lbl for lbl in range(n) if owner(lbl) != target_rank]
+    by_degree = sorted(range(n), key=lambda v: graph.degree(v), reverse=True)
+    new_label = [0] * n
+    heavy = by_degree[: len(target_labels)]
+    light = by_degree[len(target_labels):]
+    for vertex, label in zip(heavy, target_labels):
+        new_label[vertex] = label
+    for vertex, label in zip(light, other_labels):
+        new_label[vertex] = label
+    return new_label
+
+
+def adversarial_labels_division(
+    graph: SimpleGraph, num_ranks: int, target_rank: int = 0
+) -> List[int]:
+    """Specialisation for HP-D (``v mod p``), as simulated in Fig. 21."""
+    return adversarial_labels_for(
+        graph, num_ranks, lambda v: v % num_ranks, target_rank
+    )

@@ -1,0 +1,105 @@
+"""Consecutive Partitioning (CP) — Section 4.3.
+
+Vertices keep their label order; partition boundaries are chosen so
+each rank receives roughly ``m/p`` *edges*, where an edge is counted at
+its lower endpoint (reduced-adjacency ownership).  Ownership lookup is
+``O(log p)`` by bisecting the boundary array, and each rank's vertex
+range is a closed form — the properties Section 5 lists for a good
+scheme.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Sequence
+
+from repro.errors import PartitionError
+from repro.graphs.graph import SimpleGraph
+from repro.partition.base import Partitioner
+
+__all__ = ["ConsecutivePartitioner"]
+
+
+def _reduced_degrees(graph: SimpleGraph) -> List[int]:
+    """Per-vertex count of higher-labelled neighbours, i.e. the number
+    of edges the vertex would own under reduced adjacency."""
+    out = []
+    for u in range(graph.num_vertices):
+        out.append(sum(1 for v in graph.neighbors(u) if v > u))
+    return out
+
+
+class ConsecutivePartitioner(Partitioner):
+    """Equal-edge consecutive vertex ranges.
+
+    Built either from a graph (boundaries computed here) or from an
+    explicit boundary list (``boundaries[i]`` = first vertex of rank
+    ``i+1``; used when replaying a stored partition).
+    """
+
+    def __init__(
+        self,
+        graph: SimpleGraph = None,
+        num_ranks: int = 1,
+        boundaries: Sequence[int] = None,
+        num_vertices: int = None,
+    ):
+        if graph is not None:
+            super().__init__(graph.num_vertices, num_ranks)
+            self._bounds = self._compute_boundaries(graph, num_ranks)
+        elif boundaries is not None and num_vertices is not None:
+            super().__init__(num_vertices, num_ranks)
+            if len(boundaries) != num_ranks - 1:
+                raise PartitionError(
+                    f"expected {num_ranks - 1} boundaries, got {len(boundaries)}"
+                )
+            if list(boundaries) != sorted(boundaries):
+                raise PartitionError("boundaries must be non-decreasing")
+            self._bounds = list(boundaries)
+        else:
+            raise PartitionError(
+                "ConsecutivePartitioner needs a graph or explicit boundaries"
+            )
+
+    @staticmethod
+    def _compute_boundaries(graph: SimpleGraph, p: int) -> List[int]:
+        """Greedy sweep: close a partition as soon as it reaches the
+        ideal ``m/p`` edge quota (counted at the lower endpoint)."""
+        degs = _reduced_degrees(graph)
+        m = graph.num_edges
+        n = graph.num_vertices
+        bounds: List[int] = []
+        acc = 0
+        target = m / p if p > 0 else m
+        next_cut = target
+        for v in range(n):
+            acc += degs[v]
+            if len(bounds) < p - 1 and acc >= next_cut:
+                bounds.append(v + 1)
+                next_cut = target * (len(bounds) + 1)
+        # If the sweep ran out of vertices (tiny graphs / large p), pad
+        # with empty trailing partitions anchored at n.
+        while len(bounds) < p - 1:
+            bounds.append(n)
+        return bounds
+
+    @property
+    def name(self) -> str:
+        return "CP"
+
+    def owner(self, v: int) -> int:
+        if not 0 <= v < self.num_vertices:
+            raise PartitionError(f"vertex {v} out of range [0, {self.num_vertices})")
+        return bisect.bisect_right(self._bounds, v)
+
+    def vertices_of(self, rank: int) -> List[int]:
+        if not 0 <= rank < self.num_ranks:
+            raise PartitionError(f"rank {rank} out of range [0, {self.num_ranks})")
+        lo = 0 if rank == 0 else self._bounds[rank - 1]
+        hi = self.num_vertices if rank == self.num_ranks - 1 else self._bounds[rank]
+        return list(range(lo, hi))
+
+    @property
+    def boundaries(self) -> List[int]:
+        """Boundary labels (first vertex of each rank after rank 0)."""
+        return list(self._bounds)

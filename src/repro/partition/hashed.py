@@ -1,0 +1,136 @@
+"""Hash-based partitioning schemes (Section 5.1).
+
+* **HP-D** (division): ``h(v) = v mod p`` (eq. 8);
+* **HP-M** (multiplication): ``h(v) = floor(p · frac(v·a))`` with
+  ``a = (√5 − 1)/2`` by default (eq. 9, Knuth's choice);
+* **HP-U** (universal): ``h(v) = ((a·v + b) mod c) mod p`` with prime
+  ``c > max label`` and random ``a ∈ [1, c)``, ``b ∈ [0, c)``
+  (eq. 10) — immune to adversarial relabeling because the hash is drawn
+  at run time from a universal family.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.errors import PartitionError
+from repro.partition.base import Partitioner
+from repro.util.rng import RngStream
+
+__all__ = [
+    "DivisionHashPartitioner",
+    "MultiplicationHashPartitioner",
+    "UniversalHashPartitioner",
+    "next_prime",
+]
+
+#: Knuth's multiplicative constant (√5 − 1)/2.
+GOLDEN_FRACTION = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+class DivisionHashPartitioner(Partitioner):
+    """HP-D: ``h(v) = v mod p``."""
+
+    @property
+    def name(self) -> str:
+        return "HP-D"
+
+    def owner(self, v: int) -> int:
+        self._check(v)
+        return v % self.num_ranks
+
+    def _check(self, v: int) -> None:
+        if not 0 <= v < self.num_vertices:
+            raise PartitionError(f"vertex {v} out of range [0, {self.num_vertices})")
+
+
+class MultiplicationHashPartitioner(Partitioner):
+    """HP-M: ``h(v) = floor(p · (v·a − floor(v·a)))``.
+
+    The fractional part is computed with ``math.fmod`` on the exact
+    float product; for the label ranges used here (< 2⁵³) this matches
+    the textbook definition.
+    """
+
+    def __init__(self, num_vertices: int, num_ranks: int,
+                 multiplier: float = GOLDEN_FRACTION):
+        super().__init__(num_vertices, num_ranks)
+        if not 0.0 < multiplier < 1.0:
+            raise PartitionError(f"multiplier must be in (0, 1), got {multiplier}")
+        self.multiplier = multiplier
+
+    @property
+    def name(self) -> str:
+        return "HP-M"
+
+    def owner(self, v: int) -> int:
+        if not 0 <= v < self.num_vertices:
+            raise PartitionError(f"vertex {v} out of range [0, {self.num_vertices})")
+        frac = math.fmod(v * self.multiplier, 1.0)
+        r = int(self.num_ranks * frac)
+        return min(r, self.num_ranks - 1)  # guard frac == 0.999...
+
+
+def _is_prime(k: int) -> bool:
+    if k < 2:
+        return False
+    if k % 2 == 0:
+        return k == 2
+    f = 3
+    while f * f <= k:
+        if k % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def next_prime(k: int) -> int:
+    """Smallest prime ``>= k`` (trial division; fine for label ranges)."""
+    k = max(2, k)
+    while not _is_prime(k):
+        k += 1
+    return k
+
+
+class UniversalHashPartitioner(Partitioner):
+    """HP-U: ``h(v) = ((a·v + b) mod c) mod p`` from a universal family.
+
+    ``a`` and ``b`` are drawn from ``rng`` (or fixed explicitly for
+    reproduction of a specific run); ``c`` is the smallest prime larger
+    than every vertex label.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        num_ranks: int,
+        rng: Optional[RngStream] = None,
+        a: Optional[int] = None,
+        b: Optional[int] = None,
+        c: Optional[int] = None,
+    ):
+        super().__init__(num_vertices, num_ranks)
+        self.c = c if c is not None else next_prime(max(num_vertices, 2))
+        if not _is_prime(self.c) or self.c < num_vertices:
+            raise PartitionError(f"c={self.c} must be a prime >= n={num_vertices}")
+        if a is None or b is None:
+            if rng is None:
+                raise PartitionError("HP-U needs an RngStream or explicit (a, b)")
+            a = 1 + rng.randint(self.c - 1)
+            b = rng.randint(self.c)
+        if not 1 <= a < self.c:
+            raise PartitionError(f"a={a} must be in [1, c)")
+        if not 0 <= b < self.c:
+            raise PartitionError(f"b={b} must be in [0, c)")
+        self.a = a
+        self.b = b
+
+    @property
+    def name(self) -> str:
+        return "HP-U"
+
+    def owner(self, v: int) -> int:
+        if not 0 <= v < self.num_vertices:
+            raise PartitionError(f"vertex {v} out of range [0, {self.num_vertices})")
+        return ((self.a * v + self.b) % self.c) % self.num_ranks

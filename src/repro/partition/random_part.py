@@ -1,0 +1,38 @@
+"""Uniform random vertex assignment — the strawman of Section 5.
+
+Assigns each vertex to a uniform random rank.  Balances *vertices* in
+expectation but needs an explicit O(n) ownership table on every rank to
+answer ``owner(v)``, which is exactly why the paper dismisses it in
+favour of hash functions.  Included for the comparative experiments.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PartitionError
+from repro.partition.base import Partitioner
+from repro.util.rng import RngStream
+
+__all__ = ["RandomPartitioner"]
+
+
+class RandomPartitioner(Partitioner):
+    """Vertex -> uniform random rank, fixed at construction."""
+
+    def __init__(self, num_vertices: int, num_ranks: int, rng: RngStream):
+        super().__init__(num_vertices, num_ranks)
+        # The O(n) table the paper objects to — deliberate.
+        self._table = [rng.randint(num_ranks) for _ in range(num_vertices)]
+
+    @property
+    def name(self) -> str:
+        return "RAND"
+
+    def owner(self, v: int) -> int:
+        if not 0 <= v < self.num_vertices:
+            raise PartitionError(f"vertex {v} out of range [0, {self.num_vertices})")
+        return self._table[v]
+
+    @property
+    def memory_cells(self) -> int:
+        """Size of the ownership table (the scheme's memory cost)."""
+        return len(self._table)

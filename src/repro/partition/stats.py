@@ -1,0 +1,67 @@
+"""Load-balance statistics over partitions (Figs. 16–20).
+
+Given a partitioner and a graph, compute per-rank vertex and edge
+counts; given a completed run, compare initial vs final edge
+distributions and workload (switch counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.graphs.graph import SimpleGraph
+from repro.partition.base import Partitioner
+from repro.util.stats import coefficient_of_variation, imbalance_factor
+
+__all__ = ["PartitionProfile", "profile_partition"]
+
+
+@dataclass
+class PartitionProfile:
+    """Per-rank counts for one (graph, scheme) pairing."""
+
+    scheme: str
+    vertices_per_rank: List[int]
+    edges_per_rank: List[int]
+
+    @property
+    def num_ranks(self) -> int:
+        return len(self.vertices_per_rank)
+
+    @property
+    def edge_imbalance(self) -> float:
+        """max/mean of per-rank edge counts (1.0 = perfect)."""
+        return imbalance_factor(self.edges_per_rank)
+
+    @property
+    def vertex_imbalance(self) -> float:
+        return imbalance_factor(self.vertices_per_rank)
+
+    @property
+    def edge_cv(self) -> float:
+        """Coefficient of variation of per-rank edge counts."""
+        return coefficient_of_variation(self.edges_per_rank)
+
+    def row(self) -> str:
+        """One formatted table row (scheme, imbalances)."""
+        return (
+            f"{self.scheme:6s} ranks={self.num_ranks:4d} "
+            f"edge-imb={self.edge_imbalance:6.3f} "
+            f"vert-imb={self.vertex_imbalance:6.3f} "
+            f"edge-cv={self.edge_cv:6.3f}"
+        )
+
+
+def profile_partition(graph: SimpleGraph, partitioner: Partitioner) -> PartitionProfile:
+    """Count vertices and (reduced-adjacency) edges per rank without
+    materialising the partitions."""
+    p = partitioner.num_ranks
+    verts = [0] * p
+    edges = [0] * p
+    owners = [partitioner.owner(v) for v in range(graph.num_vertices)]
+    for v, r in enumerate(owners):
+        verts[r] += 1
+    for u, v in graph.edges():
+        edges[owners[u]] += 1
+    return PartitionProfile(partitioner.name, verts, edges)

@@ -1,0 +1,20 @@
+"""Random-variate generators (Section 6 of the paper).
+
+* :func:`binomial_binv` — the BINV inverse-transform binomial sampler
+  (Algorithm 3), with the underflow-splitting refinement of eqs. 14–15
+  applied automatically by :func:`binomial`.
+* :func:`multinomial_conditional` — the conditional-distribution
+  multinomial method (Algorithm 4), ``O(N)`` expected time.
+* :func:`repro.rvgen.parallel_multinomial.parallel_multinomial` — the
+  parallel algorithm (Algorithm 5) as an SPMD rank program.
+"""
+
+from repro.rvgen.binomial import binomial, binomial_binv, binv_max_trials
+from repro.rvgen.multinomial import multinomial_conditional
+
+__all__ = [
+    "binomial",
+    "binomial_binv",
+    "binv_max_trials",
+    "multinomial_conditional",
+]

@@ -1,0 +1,74 @@
+"""Multinomial random variates via the conditional-distribution method.
+
+Algorithm 4 of the paper: draw the cell counts one at a time, each as a
+binomial of the *remaining* trials with the *renormalised* cell
+probability
+
+.. math::
+
+    X_i \\sim B\\Big(N - \\sum_{j<i} X_j,\\; \\frac{q_i}{1 - \\sum_{j<i} q_j}\\Big)
+
+Expected total cost is ``O(N)`` because the binomial draws sum to ``N``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import DistributionError
+from repro.rvgen.binomial import binomial
+from repro.util.rng import RngStream
+
+__all__ = ["multinomial_conditional", "validate_probabilities"]
+
+#: Tolerance on ``sum(q) == 1``.
+_PROB_SUM_TOL = 1e-9
+
+
+def validate_probabilities(probs: Sequence[float]) -> None:
+    """Raise :class:`DistributionError` unless ``probs`` is a valid
+    probability vector (non-negative entries summing to 1 within
+    tolerance)."""
+    if len(probs) == 0:
+        raise DistributionError("probability vector must be non-empty")
+    total = 0.0
+    for q in probs:
+        if q < 0.0 or q > 1.0:
+            raise DistributionError(f"probability {q} outside [0, 1]")
+        total += q
+    if abs(total - 1.0) > _PROB_SUM_TOL:
+        raise DistributionError(f"probabilities sum to {total}, expected 1")
+
+
+def multinomial_conditional(
+    n: int, probs: Sequence[float], rng: RngStream
+) -> List[int]:
+    """One draw of ``Multinomial(n, probs)`` (Algorithm 4).
+
+    Returns a list of cell counts summing to ``n``.
+    """
+    if n < 0:
+        raise DistributionError(f"number of trials must be >= 0, got {n}")
+    validate_probabilities(probs)
+    counts: List[int] = []
+    drawn = 0  # X_s in the paper
+    prob_used = 0.0  # Q_s in the paper
+    last = len(probs) - 1
+    for i, q in enumerate(probs):
+        remaining = n - drawn
+        if remaining == 0 or prob_used >= 1.0 - _PROB_SUM_TOL:
+            counts.append(0)
+            continue
+        if i == last:
+            # All remaining trials necessarily fall in the final cell;
+            # also sidesteps q/(1-Q_s) rounding slightly above 1.
+            counts.append(remaining)
+            drawn = n
+            continue
+        cond_q = q / (1.0 - prob_used)
+        cond_q = min(max(cond_q, 0.0), 1.0)
+        x = binomial(remaining, cond_q, rng)
+        counts.append(x)
+        drawn += x
+        prob_used += q
+    return counts

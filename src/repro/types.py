@@ -1,0 +1,41 @@
+"""Shared type aliases and tiny value types used across the library.
+
+The conventions here mirror the paper's notation (Section 2):
+
+* vertices are integers labelled ``0 .. n-1``;
+* an *edge* is an unordered pair; in the reduced-adjacency-list
+  representation it is canonically stored as ``(u, v)`` with ``u < v``;
+* a *rank* is an integer processor id ``0 .. p-1``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = ["Vertex", "Edge", "Rank", "canonical_edge", "is_canonical"]
+
+#: A vertex label (``0 <= v < n``).
+Vertex = int
+
+#: An edge as an ordered pair of vertex labels.
+Edge = Tuple[int, int]
+
+#: A processor rank (``0 <= r < p``).
+Rank = int
+
+
+def canonical_edge(u: int, v: int) -> Edge:
+    """Return the canonical ``(min, max)`` form of the undirected edge
+    ``{u, v}``.
+
+    >>> canonical_edge(5, 2)
+    (2, 5)
+    """
+    return (u, v) if u <= v else (v, u)
+
+
+def is_canonical(edge: Edge) -> bool:
+    """True iff ``edge`` is already in ``(min, max)`` form with distinct
+    endpoints (i.e. not a self-loop)."""
+    u, v = edge
+    return u < v

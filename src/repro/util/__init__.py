@@ -1,0 +1,12 @@
+"""Cross-cutting utilities: harmonic-number math, RNG streams, statistics."""
+
+from repro.util.harmonic import harmonic_number, expected_selections, switches_for_visit_rate
+from repro.util.rng import RngStream, spawn_streams
+
+__all__ = [
+    "harmonic_number",
+    "expected_selections",
+    "switches_for_visit_rate",
+    "RngStream",
+    "spawn_streams",
+]

@@ -1,0 +1,94 @@
+"""Seeded, splittable random-number streams.
+
+Distributed stochastic algorithms need one *independent* stream per rank
+so that (a) runs are reproducible given a master seed, and (b) no two
+ranks consume from the same underlying sequence.  We build on
+:class:`numpy.random.Generator` seeded through ``SeedSequence.spawn``,
+which provides exactly these guarantees.
+
+:class:`RngStream` wraps a generator with the handful of draws the
+algorithms need (uniform index, bernoulli, float) so the hot paths avoid
+re-creating numpy scalars where a Python int suffices.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["RngStream", "spawn_streams"]
+
+
+class RngStream:
+    """A single reproducible random stream.
+
+    Parameters
+    ----------
+    seed:
+        Anything acceptable to :class:`numpy.random.SeedSequence`
+        (int, sequence of ints, or an existing ``SeedSequence``).
+    """
+
+    __slots__ = ("_seq", "_gen")
+
+    def __init__(self, seed=None):
+        if isinstance(seed, np.random.SeedSequence):
+            self._seq = seed
+        else:
+            self._seq = np.random.SeedSequence(seed)
+        self._gen = np.random.Generator(np.random.PCG64(self._seq))
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The underlying :class:`numpy.random.Generator`."""
+        return self._gen
+
+    def spawn(self, n: int) -> List["RngStream"]:
+        """Derive ``n`` statistically independent child streams."""
+        return [RngStream(child) for child in self._seq.spawn(n)]
+
+    # -- scalar draws (hot paths) -------------------------------------
+
+    def randint(self, upper: int) -> int:
+        """Uniform integer in ``[0, upper)``."""
+        return int(self._gen.integers(upper))
+
+    def uniform(self) -> float:
+        """Uniform float in ``[0, 1)``."""
+        return float(self._gen.random())
+
+    def coin(self) -> bool:
+        """Fair coin flip — the straight-vs-cross decision of Fig. 3."""
+        return bool(self._gen.integers(2))
+
+    def choice_weighted(self, weights: Sequence[float]) -> int:
+        """Index drawn with probability proportional to ``weights``.
+
+        Used to pick the partner rank for a switch with probability
+        ``|E_j| / |E|`` (Algorithm 2, line 2).
+        """
+        total = float(sum(weights))
+        u = self.uniform() * total
+        acc = 0.0
+        for i, w in enumerate(weights):
+            acc += w
+            if u < acc:
+                return i
+        return len(weights) - 1  # numerical guard for u ~ total
+
+    # -- vector draws --------------------------------------------------
+
+    def permutation(self, n: int) -> np.ndarray:
+        """Uniform random permutation of ``range(n)``."""
+        return self._gen.permutation(n)
+
+    def sample_indices(self, upper: int, k: int) -> np.ndarray:
+        """``k`` uniform indices in ``[0, upper)`` drawn with replacement."""
+        return self._gen.integers(upper, size=k)
+
+
+def spawn_streams(seed, n: int) -> List[RngStream]:
+    """Create ``n`` independent :class:`RngStream` objects from one master
+    seed — one per simulated rank."""
+    return RngStream(seed).spawn(n)

@@ -1,0 +1,61 @@
+"""Small statistics helpers shared by the experiment harness and the
+load-balance analyses of Section 5.2."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["Summary", "summarize", "imbalance_factor", "coefficient_of_variation"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} mean={self.mean:.6g} std={self.std:.6g} "
+            f"min={self.minimum:.6g} max={self.maximum:.6g}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Return a :class:`Summary` of ``values`` (population std)."""
+    if not values:
+        return Summary(0, float("nan"), float("nan"), float("nan"), float("nan"))
+    n = len(values)
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / n
+    return Summary(n, mean, math.sqrt(var), min(values), max(values))
+
+
+def imbalance_factor(loads: Sequence[float]) -> float:
+    """``max / mean`` of per-rank loads — 1.0 is perfectly balanced.
+
+    This is the quantity behind the workload-distribution plots
+    (Figs. 19–21): a rank holding ``k×`` the average edges performs
+    roughly ``k×`` the switch operations and gates the step barrier.
+    """
+    if not loads:
+        return float("nan")
+    mean = sum(loads) / len(loads)
+    if mean == 0:
+        return 1.0
+    return max(loads) / mean
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Population std divided by mean (``nan`` for an empty or zero-mean
+    sample)."""
+    s = summarize(values)
+    if s.count == 0 or s.mean == 0:
+        return float("nan")
+    return s.std / s.mean

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.graph import SimpleGraph
+from repro.graphs.generators import (
+    contact_network,
+    erdos_renyi_gnm,
+    preferential_attachment,
+    watts_strogatz,
+)
+from repro.util.rng import RngStream
+
+
+@pytest.fixture
+def rng():
+    return RngStream(12345)
+
+
+@pytest.fixture
+def tiny_graph():
+    """A 6-vertex path + chord graph, easy to reason about by hand."""
+    return SimpleGraph.from_edges(
+        6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 3)])
+
+
+@pytest.fixture
+def square_graph():
+    """The 4-cycle: the minimal graph with a feasible switch."""
+    return SimpleGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+
+
+@pytest.fixture(scope="session")
+def er_graph():
+    """A small Erdős–Rényi graph shared (read-only!) across tests."""
+    return erdos_renyi_gnm(300, 1500, RngStream(7))
+
+
+@pytest.fixture(scope="session")
+def contact_graph():
+    """A small clustered contact network (Miami-like structure)."""
+    return contact_network(400, RngStream(8))
+
+
+@pytest.fixture(scope="session")
+def pa_graph():
+    """A small preferential-attachment graph (heavy-tailed degrees)."""
+    return preferential_attachment(400, 5, RngStream(9))
+
+
+@pytest.fixture(scope="session")
+def sw_graph():
+    """A small Watts-Strogatz small-world graph."""
+    return watts_strogatz(300, 8, 0.1, RngStream(10))

@@ -1,0 +1,82 @@
+"""Tests for the configuration (pairing) model."""
+
+import pytest
+
+from repro.errors import DegreeSequenceError, GraphError
+from repro.graphs.generators.configuration import (
+    PairingReport,
+    configuration_model,
+)
+from repro.graphs.generators import preferential_attachment
+from repro.util.rng import RngStream
+
+
+class TestRejectPolicy:
+    def test_small_degrees_succeed_exactly(self):
+        degrees = [1, 2, 1, 2, 2]
+        g, report = configuration_model(degrees, RngStream(1),
+                                        policy="reject")
+        assert g.degree_sequence() == degrees
+        assert report.is_simple
+        g.check_invariants()
+
+    def test_heavy_degrees_exhaust_budget(self):
+        # a hub of degree n-1 with many degree-1 partners plus another
+        # hub forces collisions constantly; rejection gives up
+        degrees = [8, 8] + [2] * 8
+        # this one may succeed; use something truly hopeless: two
+        # vertices that must be multiply-connected
+        hopeless = [3, 3, 0, 0]  # only each other to connect to
+        with pytest.raises(DegreeSequenceError):
+            configuration_model(hopeless, RngStream(2), policy="reject")
+
+
+class TestErasePolicy:
+    def test_erase_approximates_degrees(self):
+        base = preferential_attachment(150, 4, RngStream(3))
+        degrees = base.degree_sequence()
+        g, report = configuration_model(degrees, RngStream(4),
+                                        policy="erase")
+        g.check_invariants()
+        # erased model loses a few edges to collisions
+        target_m = sum(degrees) // 2
+        assert g.num_edges <= target_m
+        assert g.num_edges > 0.9 * target_m
+        assert report.self_loops + report.parallel_edges \
+            == target_m - g.num_edges
+
+    def test_zero_degrees(self):
+        g, report = configuration_model([0, 0, 0], RngStream(0),
+                                        policy="erase")
+        assert g.num_edges == 0
+        assert report.is_simple
+
+
+class TestRawPolicy:
+    def test_raw_reports_defect_rates(self):
+        # heavy-tailed degrees collide often — the motivation for the
+        # Havel-Hakimi + switching pipeline
+        base = preferential_attachment(200, 6, RngStream(5))
+        _none, report = configuration_model(base.degree_sequence(),
+                                            RngStream(6), policy="raw")
+        assert _none is None
+        assert report.self_loops + report.parallel_edges > 0
+
+    def test_is_simple_flag(self):
+        assert PairingReport(0, 0).is_simple
+        assert not PairingReport(1, 0).is_simple
+        assert not PairingReport(0, 2).is_simple
+
+
+class TestValidation:
+    def test_odd_sum_rejected(self):
+        with pytest.raises(DegreeSequenceError):
+            configuration_model([1, 1, 1], RngStream(0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(DegreeSequenceError):
+            configuration_model([-1, 1], RngStream(0))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(GraphError):
+            configuration_model([1, 1], RngStream(0), policy="pray")

@@ -1,0 +1,117 @@
+"""Tests for the switch feasibility table (Sections 3.2 / 4.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.constraints import FailureReason, SwitchKind, propose_switch
+from repro.errors import SwitchError
+
+
+class TestCross:
+    def test_valid_cross(self):
+        prop, reason = propose_switch((0, 1), (2, 3), SwitchKind.CROSS)
+        assert reason is None
+        assert set(prop.add) == {(0, 3), (1, 2)}
+        assert prop.remove == ((0, 1), (2, 3))
+
+    def test_canonicalises_new_edges(self):
+        prop, _ = propose_switch((5, 9), (1, 3), SwitchKind.CROSS)
+        # (u1, v2) = (5, 3) -> stored as (3, 5); (u2, v1) = (1, 9)
+        assert set(prop.add) == {(3, 5), (1, 9)}
+        assert all(u < v for u, v in prop.add)
+
+    def test_loop_u1_eq_v2(self):
+        prop, reason = propose_switch((2, 5), (1, 2), SwitchKind.CROSS)
+        assert prop is None and reason is FailureReason.LOOP
+
+    def test_loop_u2_eq_v1(self):
+        prop, reason = propose_switch((0, 3), (3, 7), SwitchKind.CROSS)
+        assert prop is None and reason is FailureReason.LOOP
+
+    def test_useless_shared_u(self):
+        prop, reason = propose_switch((0, 1), (0, 2), SwitchKind.CROSS)
+        assert prop is None and reason is FailureReason.USELESS
+
+    def test_useless_shared_v(self):
+        prop, reason = propose_switch((0, 5), (2, 5), SwitchKind.CROSS)
+        assert prop is None and reason is FailureReason.USELESS
+
+
+class TestStraight:
+    def test_valid_straight(self):
+        prop, reason = propose_switch((0, 1), (2, 3), SwitchKind.STRAIGHT)
+        assert reason is None
+        assert set(prop.add) == {(0, 2), (1, 3)}
+
+    def test_loop_shared_u(self):
+        prop, reason = propose_switch((0, 1), (0, 2), SwitchKind.STRAIGHT)
+        assert prop is None and reason is FailureReason.LOOP
+
+    def test_loop_shared_v(self):
+        prop, reason = propose_switch((0, 5), (2, 5), SwitchKind.STRAIGHT)
+        assert prop is None and reason is FailureReason.LOOP
+
+    def test_useless_u1_eq_v2(self):
+        prop, reason = propose_switch((2, 5), (1, 2), SwitchKind.STRAIGHT)
+        assert prop is None and reason is FailureReason.USELESS
+
+    def test_useless_u2_eq_v1(self):
+        prop, reason = propose_switch((0, 3), (3, 7), SwitchKind.STRAIGHT)
+        assert prop is None and reason is FailureReason.USELESS
+
+
+class TestCommon:
+    def test_same_edge_rejected(self):
+        for kind in SwitchKind:
+            prop, reason = propose_switch((0, 1), (0, 1), kind)
+            assert prop is None and reason is FailureReason.SAME_EDGE
+
+    def test_non_canonical_input_rejected(self):
+        with pytest.raises(SwitchError):
+            propose_switch((1, 0), (2, 3), SwitchKind.CROSS)
+        with pytest.raises(SwitchError):
+            propose_switch((0, 1), (3, 3), SwitchKind.CROSS)
+
+    def test_cross_loop_is_straight_useless_and_vice_versa(self):
+        """The symmetry noted in the module docstring."""
+        e1, e2 = (2, 5), (1, 2)  # u1 == v2
+        _, cross_r = propose_switch(e1, e2, SwitchKind.CROSS)
+        _, straight_r = propose_switch(e1, e2, SwitchKind.STRAIGHT)
+        assert cross_r is FailureReason.LOOP
+        assert straight_r is FailureReason.USELESS
+
+        e1, e2 = (0, 1), (0, 2)  # u1 == u2
+        _, cross_r = propose_switch(e1, e2, SwitchKind.CROSS)
+        _, straight_r = propose_switch(e1, e2, SwitchKind.STRAIGHT)
+        assert cross_r is FailureReason.USELESS
+        assert straight_r is FailureReason.LOOP
+
+
+@st.composite
+def canonical_edge(draw):
+    u = draw(st.integers(0, 30))
+    v = draw(st.integers(u + 1, 31))
+    return (u, v)
+
+
+class TestPropertyBased:
+    @given(canonical_edge(), canonical_edge(),
+           st.sampled_from(list(SwitchKind)))
+    @settings(max_examples=300, deadline=None)
+    def test_degree_multiset_preserved(self, e1, e2, kind):
+        """The defining property of an edge switch: endpoint degrees
+        unchanged — the multiset of endpoints of removed edges equals
+        that of added edges."""
+        prop, reason = propose_switch(e1, e2, kind)
+        if prop is None:
+            assert reason in FailureReason
+            return
+        removed = sorted([*prop.remove[0], *prop.remove[1]])
+        added = sorted([*prop.add[0], *prop.add[1]])
+        assert removed == added
+        # added edges are canonical, loop-free, distinct
+        for u, v in prop.add:
+            assert u < v
+        assert prop.add[0] != prop.add[1]
+        # added edges differ from removed ones (no useless switches)
+        assert not set(prop.add) & set(prop.remove)

@@ -1,0 +1,83 @@
+"""Tests for joint-degree-distribution tools."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.jdd import (
+    jdd_distance,
+    jdd_preserving_switch,
+    joint_degree_matrix,
+)
+from repro.core.sequential import sequential_edge_switch
+from repro.errors import ConfigurationError
+from repro.graphs.generators import community_network, erdos_renyi_gnm
+from repro.graphs.graph import SimpleGraph
+from repro.graphs.metrics import degree_assortativity
+from repro.util.rng import RngStream
+
+
+class TestJointDegreeMatrix:
+    def test_sums_to_m(self, er_graph):
+        jdd = joint_degree_matrix(er_graph)
+        assert sum(jdd.values()) == er_graph.num_edges
+
+    def test_keys_canonical(self, er_graph):
+        for j, k in joint_degree_matrix(er_graph):
+            assert j <= k
+
+    def test_known_small_case(self):
+        # path 0-1-2: edges have degree pairs (1,2) and (2,1) -> {(1,2): 2}
+        g = SimpleGraph.from_edges(3, [(0, 1), (1, 2)])
+        assert joint_degree_matrix(g) == {(1, 2): 2}
+
+    def test_distance(self):
+        a = {(1, 2): 3, (2, 2): 1}
+        b = {(1, 2): 1, (3, 3): 2}
+        assert jdd_distance(a, b) == 2 + 1 + 2
+        assert jdd_distance(a, a) == 0
+
+
+class TestJddPreservingSwitch:
+    @pytest.fixture(scope="class")
+    def hetero(self):
+        return community_network(120, 3, 0.4, RngStream(1))
+
+    def test_jdd_invariant(self, hetero):
+        before = joint_degree_matrix(hetero)
+        res = jdd_preserving_switch(hetero, 60, RngStream(2))
+        after = joint_degree_matrix(res.graph)
+        assert jdd_distance(before, after) == 0
+        assert res.graph.degree_sequence() == hetero.degree_sequence()
+        res.graph.check_invariants()
+
+    def test_assortativity_invariant(self, hetero):
+        # assortativity is a JDD functional: it must be exactly fixed
+        r0 = degree_assortativity(hetero)
+        res = jdd_preserving_switch(hetero, 60, RngStream(3))
+        assert degree_assortativity(res.graph) == pytest.approx(r0)
+
+    def test_graph_actually_changes(self, hetero):
+        res = jdd_preserving_switch(hetero, 60, RngStream(4))
+        assert sorted(res.graph.edges()) != hetero.edge_list()
+
+    def test_plain_switch_moves_jdd_for_contrast(self, hetero):
+        before = joint_degree_matrix(hetero)
+        res = sequential_edge_switch(hetero, 60, RngStream(5))
+        after = joint_degree_matrix(res.to_simple(hetero.num_vertices))
+        assert jdd_distance(before, after) > 0
+
+    def test_zero_switches(self, hetero):
+        res = jdd_preserving_switch(hetero, 0, RngStream(0))
+        assert sorted(res.graph.edges()) == hetero.edge_list()
+
+    def test_validation(self, hetero):
+        with pytest.raises(ConfigurationError):
+            jdd_preserving_switch(hetero, -1, RngStream(0))
+
+    @given(st.integers(min_value=0, max_value=30))
+    @settings(max_examples=15, deadline=None)
+    def test_property_jdd_invariant_any_t(self, t):
+        g = erdos_renyi_gnm(40, 120, RngStream(9))
+        before = joint_degree_matrix(g)
+        res = jdd_preserving_switch(g, t, RngStream(t + 1))
+        assert joint_degree_matrix(res.graph) == before

@@ -1,0 +1,112 @@
+"""Tests for the sequential edge-switch algorithm (Algorithm 1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.constraints import FailureReason
+from repro.core.sequential import sequential_edge_switch
+from repro.errors import ConfigurationError, SwitchError
+from repro.graphs.generators import erdos_renyi_gnm
+from repro.util.harmonic import switches_for_visit_rate
+from repro.util.rng import RngStream
+
+
+class TestBasics:
+    def test_zero_switches_identity(self, er_graph):
+        res = sequential_edge_switch(er_graph, 0, RngStream(0))
+        assert sorted(res.graph.edges()) == er_graph.edge_list()
+        assert res.visit_rate == 0.0
+        assert res.attempts == 0
+
+    def test_input_not_modified(self, er_graph):
+        before = er_graph.edge_list()
+        sequential_edge_switch(er_graph, 100, RngStream(0))
+        assert er_graph.edge_list() == before
+
+    def test_switch_count_honoured(self, er_graph):
+        res = sequential_edge_switch(er_graph, 250, RngStream(0))
+        assert res.switches == 250
+        assert res.attempts >= 250
+
+    def test_negative_t_rejected(self, er_graph):
+        with pytest.raises(ConfigurationError):
+            sequential_edge_switch(er_graph, -1, RngStream(0))
+
+    def test_too_few_edges_rejected(self):
+        g = erdos_renyi_gnm(3, 1, RngStream(0))
+        with pytest.raises(ConfigurationError):
+            sequential_edge_switch(g, 5, RngStream(0))
+
+    def test_deterministic_given_seed(self, er_graph):
+        a = sequential_edge_switch(er_graph, 200, RngStream(5))
+        b = sequential_edge_switch(er_graph, 200, RngStream(5))
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+
+    def test_star_graph_has_no_feasible_switch(self):
+        # all edges share the centre: every attempt is loop/useless
+        from repro.graphs.graph import SimpleGraph
+        star = SimpleGraph.from_edges(5, [(0, i) for i in range(1, 5)])
+        with pytest.raises(SwitchError):
+            sequential_edge_switch(star, 1, RngStream(0))
+
+
+class TestInvariants:
+    def test_degree_sequence_preserved(self, er_graph):
+        res = sequential_edge_switch(er_graph, 500, RngStream(1))
+        final = res.to_simple(er_graph.num_vertices)
+        assert final.degree_sequence() == er_graph.degree_sequence()
+
+    def test_graph_stays_simple(self, er_graph):
+        res = sequential_edge_switch(er_graph, 500, RngStream(2))
+        res.graph.check_invariants()
+        final = res.to_simple(er_graph.num_vertices)
+        final.check_invariants()
+
+    def test_edge_count_preserved(self, er_graph):
+        res = sequential_edge_switch(er_graph, 500, RngStream(3))
+        assert res.graph.num_edges == er_graph.num_edges
+
+    def test_graph_actually_changes(self, er_graph):
+        res = sequential_edge_switch(er_graph, 500, RngStream(4))
+        assert sorted(res.graph.edges()) != er_graph.edge_list()
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_property_invariants_any_t(self, t):
+        g = erdos_renyi_gnm(40, 120, RngStream(77))
+        res = sequential_edge_switch(g, t, RngStream(t))
+        final = res.to_simple(40)
+        final.check_invariants()
+        assert final.degree_sequence() == g.degree_sequence()
+        assert 0.0 <= res.visit_rate <= 1.0
+
+
+class TestVisitRate:
+    """The Table 1 / Fig. 2 behaviour: observed ≈ desired."""
+
+    @pytest.mark.parametrize("x", [0.2, 0.5, 0.8, 1.0])
+    def test_observed_close_to_desired(self, x):
+        g = erdos_renyi_gnm(200, 1200, RngStream(9))
+        t = switches_for_visit_rate(g.num_edges, x)
+        observed = [
+            sequential_edge_switch(g, t, RngStream(100 + i)).visit_rate
+            for i in range(3)
+        ]
+        mean = sum(observed) / len(observed)
+        # the paper reports error rates of ~0.01%; at our small m the
+        # standard deviation is larger, but 3% absolute is comfortable
+        assert mean == pytest.approx(x, abs=0.03)
+
+    def test_visit_rate_monotone_in_t(self):
+        g = erdos_renyi_gnm(100, 600, RngStream(8))
+        rates = [
+            sequential_edge_switch(g, t, RngStream(42)).visit_rate
+            for t in (50, 200, 800)
+        ]
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_rejection_reasons_recorded(self):
+        g = erdos_renyi_gnm(30, 200, RngStream(10))  # dense: collisions
+        res = sequential_edge_switch(g, 300, RngStream(11))
+        assert sum(res.rejections.values()) == res.attempts - res.switches
+        assert res.rejections[FailureReason.PARALLEL] > 0

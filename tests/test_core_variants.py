@@ -1,0 +1,119 @@
+"""Tests for the constrained switch variants (connectivity-preserving
+and bipartite-preserving)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.variants import bipartite_edge_switch, connected_edge_switch
+from repro.errors import ConfigurationError, GraphError
+from repro.graphs.generators import erdos_renyi_gnm, watts_strogatz
+from repro.graphs.graph import SimpleGraph
+from repro.graphs.metrics import connected_components
+from repro.util.rng import RngStream
+
+
+@pytest.fixture(scope="module")
+def connected_graph():
+    # WS graphs are connected by construction at beta=0.1
+    return watts_strogatz(120, 4, 0.1, RngStream(1))
+
+
+def bipartite_graph(nl=20, nr=25, m=80, seed=2):
+    """Random bipartite graph: left = 0..nl-1, right = nl..nl+nr-1."""
+    rng = RngStream(seed)
+    g = SimpleGraph(nl + nr)
+    while g.num_edges < m:
+        u = rng.randint(nl)
+        v = nl + rng.randint(nr)
+        if not g.has_edge(u, v):
+            g.add_edge(u, v)
+    return g, list(range(nl))
+
+
+class TestConnectedSwitch:
+    def test_stays_connected(self, connected_graph):
+        res = connected_edge_switch(connected_graph, 150, RngStream(3))
+        final = res.to_simple(connected_graph.num_vertices)
+        assert len(connected_components(final)) == 1
+
+    def test_degree_sequence_preserved(self, connected_graph):
+        res = connected_edge_switch(connected_graph, 150, RngStream(4))
+        final = res.to_simple(connected_graph.num_vertices)
+        assert final.degree_sequence() == connected_graph.degree_sequence()
+        final.check_invariants()
+
+    def test_rollbacks_counted(self):
+        # a sparse ring-ish graph disconnects easily, forcing rollbacks
+        g = watts_strogatz(60, 2, 0.05, RngStream(5))
+        res = connected_edge_switch(g, 120, RngStream(6))
+        assert res.disconnect_rollbacks > 0
+        final = res.to_simple(g.num_vertices)
+        assert len(connected_components(final)) == 1
+
+    def test_disconnected_input_rejected(self):
+        g = SimpleGraph.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(GraphError):
+            connected_edge_switch(g, 1, RngStream(0))
+
+    def test_zero_switches(self, connected_graph):
+        res = connected_edge_switch(connected_graph, 0, RngStream(0))
+        assert sorted(res.graph.edges()) == connected_graph.edge_list()
+
+    def test_negative_rejected(self, connected_graph):
+        with pytest.raises(ConfigurationError):
+            connected_edge_switch(connected_graph, -1, RngStream(0))
+
+    def test_visit_rate_tracked(self, connected_graph):
+        res = connected_edge_switch(connected_graph, 200, RngStream(7))
+        assert 0.0 < res.visit_rate <= 1.0
+
+
+class TestBipartiteSwitch:
+    def test_preserves_bipartition(self):
+        g, left = bipartite_graph()
+        res = bipartite_edge_switch(g, left, 200, RngStream(8))
+        left_set = set(left)
+        for u, v in res.graph.edges():
+            assert (u in left_set) != (v in left_set)
+        res.graph.check_invariants()
+
+    def test_preserves_both_side_degrees(self):
+        g, left = bipartite_graph()
+        res = bipartite_edge_switch(g, left, 200, RngStream(9))
+        assert res.graph.degree_sequence() == g.degree_sequence()
+
+    def test_graph_changes(self):
+        g, left = bipartite_graph()
+        res = bipartite_edge_switch(g, left, 200, RngStream(10))
+        assert sorted(res.graph.edges()) != g.edge_list()
+
+    def test_non_bipartite_edge_rejected(self):
+        g = SimpleGraph.from_edges(4, [(0, 1), (0, 2), (1, 2)])
+        with pytest.raises(GraphError):
+            bipartite_edge_switch(g, [0, 1], 1, RngStream(0))
+
+    def test_zero_switches_identity(self):
+        g, left = bipartite_graph()
+        res = bipartite_edge_switch(g, left, 0, RngStream(0))
+        assert sorted(res.graph.edges()) == g.edge_list()
+        assert res.attempts == 0
+
+    def test_visit_rate(self):
+        g, left = bipartite_graph(m=60)
+        res = bipartite_edge_switch(g, left, 500, RngStream(11))
+        assert res.visit_rate > 0.9
+
+    def test_validation(self):
+        g, left = bipartite_graph()
+        with pytest.raises(ConfigurationError):
+            bipartite_edge_switch(g, left, -1, RngStream(0))
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_property_bipartition_invariant(self, t):
+        g, left = bipartite_graph(nl=10, nr=12, m=40, seed=42)
+        res = bipartite_edge_switch(g, left, t, RngStream(t))
+        left_set = set(left)
+        for u, v in res.graph.edges():
+            assert (u in left_set) != (v in left_set)
+        assert res.graph.degree_sequence() == g.degree_sequence()

@@ -1,0 +1,130 @@
+"""Tests for visit-rate tracking and the ED/ER similarity metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.similarity import block_matrix, edge_difference, error_rate
+from repro.core.visit_rate import VisitTracker
+from repro.errors import ConfigurationError
+from repro.graphs.graph import SimpleGraph
+
+
+class TestVisitTracker:
+    def test_initial_state(self):
+        t = VisitTracker([(0, 1), (2, 3)])
+        assert t.initial_count == 2
+        assert t.visited_count == 0
+        assert t.visit_rate == 0.0
+
+    def test_consume_original(self):
+        t = VisitTracker([(0, 1), (2, 3)])
+        t.consume((0, 1))
+        assert t.visited_count == 1
+        assert t.visit_rate == 0.5
+
+    def test_consume_modified_edge_noop(self):
+        t = VisitTracker([(0, 1)])
+        t.consume((5, 6))
+        assert t.visited_count == 0
+
+    def test_consume_idempotent(self):
+        t = VisitTracker([(0, 1)])
+        t.consume((0, 1))
+        t.consume((0, 1))
+        assert t.visited_count == 1
+
+    def test_recreated_edge_stays_visited(self):
+        # the paper's semantics: once visited, always visited, even if
+        # a later switch recreates the same label pair
+        t = VisitTracker([(0, 1)])
+        t.consume((0, 1))
+        assert not t.is_original((0, 1))
+        assert t.visit_rate == 1.0
+
+    def test_non_canonical_input(self):
+        t = VisitTracker([(1, 0)])
+        assert t.is_original((0, 1))
+        t.consume((1, 0))
+        assert t.visit_rate == 1.0
+
+    def test_empty(self):
+        t = VisitTracker([])
+        assert t.visit_rate == 0.0
+
+    def test_merge_disjoint_trackers(self):
+        a = VisitTracker([(0, 1), (0, 2)])
+        b = VisitTracker([(5, 6), (5, 7)])
+        a.consume((0, 1))
+        b.consume((5, 6))
+        b.consume((5, 7))
+        a.merge_visited(b)
+        assert a.initial_count == 4
+        assert a.visited_count == 3
+        assert a.visit_rate == 0.75
+
+
+class TestBlockMatrix:
+    def test_total_is_2m(self, er_graph):
+        mat = block_matrix(er_graph.edges(), er_graph.num_vertices, r=5)
+        assert mat.sum() == 2 * er_graph.num_edges
+
+    def test_symmetric(self, er_graph):
+        mat = block_matrix(er_graph.edges(), er_graph.num_vertices, r=7)
+        assert (mat == mat.T).all()
+
+    def test_known_small_case(self):
+        # 4 vertices, 2 blocks {0,1} and {2,3}
+        edges = [(0, 1), (0, 2), (1, 3), (2, 3)]
+        mat = block_matrix(edges, 4, r=2)
+        assert mat[0, 0] == 2   # (0,1) within block 0, counted twice
+        assert mat[1, 1] == 2   # (2,3)
+        assert mat[0, 1] == 2   # (0,2) and (1,3)
+        assert mat[1, 0] == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            block_matrix([], 10, r=0)
+        with pytest.raises(ConfigurationError):
+            block_matrix([], 0, r=2)
+
+
+class TestErrorRate:
+    def test_identical_graphs_zero(self, er_graph):
+        assert error_rate(er_graph.edges(), er_graph.edges(),
+                          er_graph.num_vertices) == 0.0
+
+    def test_fully_disjoint_block_placement(self):
+        # all edges within block 0 vs all within block 1: every entry of
+        # both matrices contributes, giving the extreme 200% (the
+        # paper's 2m bound counts each graph's mass once)
+        a = [(0, 1), (0, 2)]
+        b = [(4, 5), (4, 6)]
+        assert error_rate(a, b, 8, r=2) == pytest.approx(200.0)
+
+    def test_known_value(self):
+        a = [(0, 1), (2, 3)]   # one edge per block (n=4, r=2)
+        b = [(0, 1), (0, 2)]   # second edge crosses blocks
+        # matrices: a = diag(2,2); b = [[2,1],[1,0]]
+        # ED = |0| + 1 + 1 + 2 = 4; 2m = 4 -> 100%
+        assert error_rate(a, b, 4, r=2) == pytest.approx(100.0)
+
+    def test_mismatched_shapes_rejected(self):
+        m1 = block_matrix([(0, 1)], 4, r=2)
+        m2 = block_matrix([(0, 1)], 4, r=3)
+        with pytest.raises(ConfigurationError):
+            edge_difference(m1, m2)
+
+    def test_empty_graph(self):
+        assert error_rate([], [], 4, r=2) == 0.0
+
+    def test_permuted_labels_within_blocks_zero_error(self, er_graph):
+        """ER only sees block-level structure: swapping two labels in
+        the same block changes nothing."""
+        n = er_graph.num_vertices
+        r = 5
+        block = n // r
+        perm = list(range(n))
+        perm[0], perm[1] = perm[1], perm[0]  # same block for r=5
+        edges_b = [(min(perm[u], perm[v]), max(perm[u], perm[v]))
+                   for u, v in er_graph.edges()]
+        assert error_rate(er_graph.edges(), edges_b, n, r) == 0.0

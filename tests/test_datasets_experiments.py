@@ -1,0 +1,120 @@
+"""Tests for the dataset catalog and the experiment harness."""
+
+import pytest
+
+from repro.datasets import DATASETS, load_dataset
+from repro.datasets.catalog import STRONG_SCALING_SET
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    error_rate_experiment,
+    print_series,
+    print_table,
+    property_trajectory,
+    strong_scaling,
+    visit_rate_experiment,
+    weak_scaling,
+)
+from repro.experiments.projection import project_endurance
+from repro.graphs.generators import erdos_renyi_gnm
+from repro.graphs.metrics import average_clustering
+from repro.util.rng import RngStream
+
+
+class TestCatalog:
+    def test_all_table2_networks_present(self):
+        expected = {"new_york", "los_angeles", "miami", "flickr",
+                    "livejournal", "small_world", "erdos_renyi",
+                    "pa_100m", "pa_1b"}
+        assert set(DATASETS) == expected
+
+    def test_strong_scaling_set_has_eight(self):
+        assert len(STRONG_SCALING_SET) == 8
+        assert all(name in DATASETS for name in STRONG_SCALING_SET)
+
+    def test_load_caches(self):
+        a = load_dataset("miami")
+        b = load_dataset("miami")
+        assert a is b
+
+    def test_different_seed_different_graph(self):
+        a = load_dataset("erdos_renyi", seed=0)
+        b = load_dataset("erdos_renyi", seed=1)
+        assert a is not b
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_dataset("facebook")
+
+    def test_miami_is_valid_and_clustered(self):
+        g = load_dataset("miami")
+        g.check_invariants()
+        assert average_clustering(g, RngStream(0), samples=200) > 0.2
+
+
+@pytest.fixture(scope="module")
+def small():
+    return erdos_renyi_gnm(150, 700, RngStream(1))
+
+
+class TestHarness:
+    def test_strong_scaling_structure(self, small):
+        pts = strong_scaling(small, [1, 2, 4], t=300, step_size=100, seed=0)
+        assert [pt.p for pt in pts] == [1, 2, 4]
+        assert pts[0].speedup == 1.0
+        assert all(pt.sim_time > 0 for pt in pts)
+        assert pts[0].messages == 0
+
+    def test_weak_scaling_structure(self, small):
+        pts = weak_scaling(lambda p: small, [1, 2, 4], t_per_rank=100, seed=0)
+        assert [pt.switches for pt in pts] == [100, 200, 400]
+
+    def test_error_rate_experiment(self, small):
+        res = error_rate_experiment(
+            small, p=3, t=700, step_size=175, reps=2, r_blocks=5, seed=1)
+        assert res.reps == 2
+        assert res.seq_vs_seq >= 0
+        assert res.seq_vs_par >= 0
+        # parallel should sit near the sequential noise floor
+        assert res.gap < max(2.0, res.seq_vs_seq)
+
+    def test_visit_rate_experiment(self, small):
+        rows = visit_rate_experiment(small, [0.3, 0.6], reps=2, seed=0)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["observed_mean"] == pytest.approx(
+                row["desired"], abs=0.06)
+            assert row["error_pct"] < 8.0
+
+    def test_property_trajectory_sequential(self, small):
+        metric = lambda g: average_clustering(g)
+        traj = property_trajectory(small, [0.2, 0.9], metric, seed=3)
+        assert len(traj) == 2
+        assert traj[0][0] == 0.2
+
+    def test_property_trajectory_parallel(self, small):
+        metric = lambda g: g.num_edges
+        traj = property_trajectory(
+            small, [0.5], metric, mode="parallel", p=3, seed=3)
+        assert traj[0][1] == small.num_edges
+
+    def test_property_trajectory_bad_mode(self, small):
+        with pytest.raises(ValueError):
+            property_trajectory(small, [0.5], lambda g: 0, mode="magic")
+
+    def test_print_helpers_smoke(self, small, capsys):
+        pts = strong_scaling(small, [1, 2], t=100, step_size=50, seed=0)
+        print_series("demo", pts)
+        print_table("t", ["a", "b"], [(1, 2.5), (3, 4.0)])
+        out = capsys.readouterr().out
+        assert "demo" in out and "speedup" in out
+        assert "2.5" in out
+
+
+class TestProjection:
+    def test_endurance_projection(self, small):
+        proj = project_endurance(
+            small, ranks=8, t=400, step_size=100, seed=0)
+        assert proj.measured_switches == 400
+        assert proj.cost_per_switch > 0
+        assert proj.projected_sim_time > 0
+        assert proj.projected_hours_at_1us > 0

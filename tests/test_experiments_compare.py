@@ -1,0 +1,64 @@
+"""Tests for record comparison (regression diffing)."""
+
+import pytest
+
+from repro.experiments.compare import (
+    compare_directories,
+    compare_results,
+)
+from repro.experiments.records import ExperimentRecord, save_record
+
+
+def rec(label, results):
+    return ExperimentRecord(label=label, results=results)
+
+
+class TestCompareResults:
+    def test_identical_records_clean(self):
+        a = rec("Fig. 4", {"p": [1, 4], "speedup": [1.0, 3.0]})
+        assert compare_results(a, a) == []
+
+    def test_small_drift_within_tolerance(self):
+        a = rec("x", {"speedup": [1.0, 3.00]})
+        b = rec("x", {"speedup": [1.0, 3.05]})
+        assert compare_results(a, b, rel_tolerance=0.05) == []
+
+    def test_large_drift_flagged(self):
+        a = rec("x", {"speedup": [1.0, 3.0]})
+        b = rec("x", {"speedup": [1.0, 4.5]})
+        divs = compare_results(a, b)
+        assert len(divs) == 1
+        assert divs[0].path == "/speedup[1]"
+        assert divs[0].old == 3.0 and divs[0].new == 4.5
+        assert divs[0].relative == pytest.approx(1.5 / 4.5)
+
+    def test_nested_structures(self):
+        a = rec("x", {"miami": {"p": [1], "s": [2.0]}})
+        b = rec("x", {"miami": {"p": [1], "s": [9.0]}})
+        divs = compare_results(a, b)
+        assert [d.path for d in divs] == ["/miami/s[0]"]
+
+    def test_missing_path_reported(self):
+        a = rec("x", {"speedup": [1.0]})
+        b = rec("x", {"speedup": [1.0], "extra": 5})
+        divs = compare_results(a, b)
+        assert any(d.path == "/extra" for d in divs)
+
+    def test_non_numeric_difference(self):
+        a = rec("x", {"scheme": "cp"})
+        b = rec("x", {"scheme": "hp-u"})
+        assert len(compare_results(a, b)) == 1
+
+
+class TestCompareDirectories:
+    def test_directory_diff(self, tmp_path):
+        old = tmp_path / "old"
+        new = tmp_path / "new"
+        save_record(rec("Fig. 4", {"speedup": [1.0, 3.0]}), old)
+        save_record(rec("Fig. 4", {"speedup": [1.0, 6.0]}), new)
+        save_record(rec("Fig. 5", {"t": [1.0]}), old)
+        save_record(rec("Fig. 5", {"t": [1.0]}), new)
+        save_record(rec("Only-old", {"v": 1}), old)
+        report = compare_directories(old, new)
+        assert set(report) == {"Fig. 4"}
+        assert report["Fig. 4"][0].new == 6.0

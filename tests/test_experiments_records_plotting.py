@@ -1,0 +1,99 @@
+"""Tests for experiment records and ASCII plotting."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.plotting import ascii_plot, sparkline
+from repro.experiments.records import (
+    ExperimentRecord,
+    load_all,
+    load_record,
+    save_record,
+)
+
+
+class TestRecords:
+    def test_roundtrip(self, tmp_path):
+        rec = ExperimentRecord(
+            label="Fig. 4",
+            params={"dataset": "miami", "scheme": "cp", "t": 12000},
+            results={"p": [1, 4], "speedup": [1.0, 0.95]},
+        )
+        path = save_record(rec, tmp_path)
+        assert path.name == "fig__4.json"
+        back = load_record(path)
+        assert back.label == "Fig. 4"
+        assert back.params["t"] == 12000
+        assert back.results["speedup"] == [1.0, 0.95]
+        assert back.version == rec.version
+
+    def test_environment_captured(self, tmp_path):
+        rec = ExperimentRecord(label="x")
+        assert "python" in rec.environment
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentRecord(label="")
+
+    def test_newer_schema_rejected(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"label": "x", "schema": 999}))
+        with pytest.raises(ConfigurationError):
+            load_record(path)
+
+    def test_load_all_sorted(self, tmp_path):
+        save_record(ExperimentRecord(label="B"), tmp_path)
+        save_record(ExperimentRecord(label="A"), tmp_path)
+        labels = [r.label for r in load_all(tmp_path)]
+        assert labels == ["A", "B"]
+
+    def test_load_all_missing_dir(self, tmp_path):
+        assert load_all(tmp_path / "nope") == []
+
+
+class TestSparkline:
+    def test_monotone(self):
+        assert sparkline([1, 2, 3]) == "▁▄█"
+
+    def test_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        chart = ascii_plot(
+            [("speedup", [1, 4, 16, 64], [1.0, 0.9, 2.7, 7.8])],
+            title="demo")
+        assert "demo" in chart
+        assert "*" in chart
+        assert "7.8" in chart
+
+    def test_multiple_series_distinct_markers(self):
+        chart = ascii_plot([
+            ("a", [1, 2], [1.0, 2.0]),
+            ("b", [1, 2], [2.0, 1.0]),
+        ])
+        assert "*" in chart and "o" in chart
+        assert "a" in chart and "b" in chart
+
+    def test_log_x(self):
+        chart = ascii_plot(
+            [("s", [1, 10, 100, 1000], [1, 2, 3, 4])], logx=True)
+        assert "log x" in chart
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([])
+        with pytest.raises(ConfigurationError):
+            ascii_plot([("bad", [1, 2], [1])])
+        with pytest.raises(ConfigurationError):
+            ascii_plot([("neg", [0, 1], [1, 2])], logx=True)
+
+    def test_flat_series_does_not_crash(self):
+        chart = ascii_plot([("flat", [1, 2, 3], [5, 5, 5])])
+        assert "flat" in chart

@@ -1,0 +1,46 @@
+"""Tests for the bipartite generator and its pairing with the
+bipartite switch variant."""
+
+import pytest
+
+from repro.core.variants import bipartite_edge_switch
+from repro.errors import GraphError
+from repro.graphs.generators import bipartite_gnm
+from repro.util.rng import RngStream
+
+
+class TestBipartiteGnm:
+    def test_counts_and_bipartition(self):
+        g, left = bipartite_gnm(10, 15, 60, RngStream(1))
+        assert g.num_vertices == 25
+        assert g.num_edges == 60
+        assert left == list(range(10))
+        left_set = set(left)
+        for u, v in g.edges():
+            assert (u in left_set) != (v in left_set)
+        g.check_invariants()
+
+    def test_complete_bipartite(self):
+        g, _ = bipartite_gnm(3, 4, 12, RngStream(2))
+        assert g.num_edges == 12
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(GraphError):
+            bipartite_gnm(3, 4, 13, RngStream(0))
+
+    def test_empty_side_rejected(self):
+        with pytest.raises(GraphError):
+            bipartite_gnm(0, 4, 1, RngStream(0))
+
+    def test_deterministic(self):
+        a, _ = bipartite_gnm(8, 8, 30, RngStream(7))
+        b, _ = bipartite_gnm(8, 8, 30, RngStream(7))
+        assert a == b
+
+    def test_feeds_bipartite_switch(self):
+        g, left = bipartite_gnm(12, 14, 70, RngStream(3))
+        res = bipartite_edge_switch(g, left, 300, RngStream(4))
+        assert res.graph.degree_sequence() == g.degree_sequence()
+        left_set = set(left)
+        for u, v in res.graph.edges():
+            assert (u in left_set) != (v in left_set)

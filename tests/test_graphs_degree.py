@@ -1,0 +1,107 @@
+"""Tests for repro.graphs.degree — Erdős–Gallai and Havel–Hakimi."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DegreeSequenceError
+from repro.graphs.degree import degree_sequence, havel_hakimi, is_graphical
+from repro.graphs.generators import erdos_renyi_gnm
+from repro.util.rng import RngStream
+
+
+class TestIsGraphical:
+    def test_empty(self):
+        assert is_graphical([])
+
+    def test_all_zero(self):
+        assert is_graphical([0, 0, 0])
+
+    def test_simple_yes(self):
+        assert is_graphical([1, 1])
+        assert is_graphical([2, 2, 2])        # triangle
+        assert is_graphical([3, 3, 3, 3])     # K4
+        assert is_graphical([2, 2, 1, 1])
+
+    def test_odd_sum_no(self):
+        assert not is_graphical([1, 1, 1])
+
+    def test_degree_too_large_no(self):
+        assert not is_graphical([3, 1, 1, 1][:3])  # [3,1,1]: d=3 >= n=3
+        assert not is_graphical([5, 1, 1, 1, 1, 1][:4])
+
+    def test_classic_non_graphical(self):
+        # even sum but fails Erdős–Gallai at k=2
+        assert not is_graphical([4, 4, 4, 1, 1])
+
+    def test_negative_no(self):
+        assert not is_graphical([-1, 1])
+
+    def test_star(self):
+        assert is_graphical([4, 1, 1, 1, 1])
+
+    def test_real_graph_sequence_is_graphical(self, er_graph):
+        assert is_graphical(er_graph.degree_sequence())
+
+
+class TestHavelHakimi:
+    def test_realises_sequence(self):
+        seq = [3, 3, 2, 2, 1, 1]
+        g = havel_hakimi(seq)
+        assert g.degree_sequence() == seq
+        g.check_invariants()
+
+    def test_triangle(self):
+        g = havel_hakimi([2, 2, 2])
+        assert g.num_edges == 3
+
+    def test_empty_sequence(self):
+        g = havel_hakimi([])
+        assert g.num_vertices == 0
+
+    def test_zero_degrees(self):
+        g = havel_hakimi([0, 0])
+        assert g.num_edges == 0
+
+    def test_deterministic(self):
+        seq = [3, 2, 2, 2, 1]
+        assert havel_hakimi(seq) == havel_hakimi(seq)
+
+    def test_non_graphical_raises(self):
+        with pytest.raises(DegreeSequenceError):
+            havel_hakimi([4, 4, 4, 1, 1])
+
+    def test_odd_sum_raises(self):
+        with pytest.raises(DegreeSequenceError):
+            havel_hakimi([1, 1, 1])
+
+    def test_degree_ge_n_raises(self):
+        with pytest.raises(DegreeSequenceError):
+            havel_hakimi([3, 1, 1])
+
+    def test_negative_raises(self):
+        with pytest.raises(DegreeSequenceError):
+            havel_hakimi([-1, 1])
+
+    def test_realises_er_graph_sequence(self, er_graph):
+        seq = er_graph.degree_sequence()
+        g = havel_hakimi(seq)
+        assert sorted(g.degree_sequence()) == sorted(seq)
+        # label-for-label equality too, by construction
+        assert g.degree_sequence() == seq
+
+    def test_free_function_alias(self, er_graph):
+        assert degree_sequence(er_graph) == er_graph.degree_sequence()
+
+    @given(st.lists(st.integers(min_value=0, max_value=8),
+                    min_size=2, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_property_agrees_with_erdos_gallai(self, seq):
+        """havel_hakimi succeeds exactly on Erdős–Gallai-graphical
+        sequences — the two implementations verify each other."""
+        graphical = is_graphical(seq)
+        if graphical:
+            g = havel_hakimi(seq)
+            assert g.degree_sequence() == seq
+        else:
+            with pytest.raises(DegreeSequenceError):
+                havel_hakimi(seq)

@@ -1,0 +1,117 @@
+"""Tests for distributed graph analytics — validated against the
+serial metrics on the same graphs."""
+
+import pytest
+
+from repro.errors import ConfigurationError, GraphError
+from repro.graphs.distributed import (
+    build_views,
+    distributed_average_clustering,
+    distributed_bfs_distances,
+    distributed_degree_histogram,
+)
+from repro.graphs.graph import SimpleGraph
+from repro.graphs.metrics import average_clustering, average_shortest_path
+from repro.partition import DivisionHashPartitioner, UniversalHashPartitioner
+from repro.partition.consecutive import ConsecutivePartitioner
+from repro.util.rng import RngStream
+
+
+def hp(graph, p):
+    return DivisionHashPartitioner(graph.num_vertices, p)
+
+
+class TestViews:
+    def test_views_cover_all_vertices_with_full_adjacency(self, er_graph):
+        views = build_views(er_graph, hp(er_graph, 4))
+        seen = {}
+        for view in views:
+            for v, nbrs in view.adjacency.items():
+                assert v not in seen
+                seen[v] = nbrs
+        assert len(seen) == er_graph.num_vertices
+        for v in range(er_graph.num_vertices):
+            assert seen[v] == er_graph.neighbors(v)
+
+    def test_mismatched_partitioner_rejected(self, er_graph):
+        with pytest.raises(ConfigurationError):
+            build_views(er_graph, DivisionHashPartitioner(10, 2))
+
+
+class TestDegreeHistogram:
+    @pytest.mark.parametrize("p", [1, 3, 8])
+    def test_matches_serial(self, er_graph, p):
+        hist = distributed_degree_histogram(er_graph, hp(er_graph, p))
+        serial = {}
+        for d in er_graph.degree_sequence():
+            serial[d] = serial.get(d, 0) + 1
+        assert sum(hist) == er_graph.num_vertices
+        for d, c in enumerate(hist):
+            assert serial.get(d, 0) == c
+
+    def test_different_schemes_agree(self, contact_graph):
+        a = distributed_degree_histogram(contact_graph,
+                                         hp(contact_graph, 4))
+        b = distributed_degree_histogram(
+            contact_graph, ConsecutivePartitioner(contact_graph, 4))
+        assert a == b
+
+
+class TestDistributedBfs:
+    def test_matches_serial_single_source(self):
+        g = SimpleGraph.from_edges(
+            6, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 5)])
+        total, pairs = distributed_bfs_distances(g, hp(g, 3), [0])
+        # distances from 0: 1,2,3,4,1 -> sum 11, 5 reachable
+        assert total == 11
+        assert pairs == 5
+
+    def test_disconnected_reachability(self):
+        g = SimpleGraph.from_edges(5, [(0, 1), (2, 3)])
+        total, pairs = distributed_bfs_distances(g, hp(g, 2), [0])
+        assert (total, pairs) == (1, 1)
+
+    @pytest.mark.parametrize("p", [1, 4])
+    def test_average_path_matches_serial_estimate(self, er_graph, p):
+        sources = [0, 17, 101, 250]
+        total, pairs = distributed_bfs_distances(
+            er_graph, hp(er_graph, p), sources)
+        # serial reference: BFS from the same sources
+        from repro.graphs.metrics import _bfs_distances
+        ref_total = ref_pairs = 0
+        for s in sources:
+            dist = _bfs_distances(er_graph, s)
+            ref_total += sum(dist.values())
+            ref_pairs += len(dist) - 1
+        assert (total, pairs) == (ref_total, ref_pairs)
+
+    def test_bad_source_rejected(self, er_graph):
+        with pytest.raises(GraphError):
+            distributed_bfs_distances(er_graph, hp(er_graph, 2), [-1])
+
+
+class TestDistributedClustering:
+    @pytest.mark.parametrize("p", [1, 2, 5])
+    def test_matches_serial_exactly(self, p):
+        from repro.graphs.generators import contact_network
+        g = contact_network(150, RngStream(3))
+        got = distributed_average_clustering(g, hp(g, p))
+        want = average_clustering(g)
+        assert got == pytest.approx(want, rel=1e-12)
+
+    def test_triangle_graph(self):
+        g = SimpleGraph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        assert distributed_average_clustering(g, hp(g, 2)) == 1.0
+
+    def test_tree_is_zero(self):
+        g = SimpleGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert distributed_average_clustering(g, hp(g, 2)) == 0.0
+
+    def test_scheme_independent(self, contact_graph):
+        a = distributed_average_clustering(contact_graph,
+                                           hp(contact_graph, 4))
+        b = distributed_average_clustering(
+            contact_graph,
+            UniversalHashPartitioner(contact_graph.num_vertices, 4,
+                                     rng=RngStream(0)))
+        assert a == pytest.approx(b, rel=1e-12)

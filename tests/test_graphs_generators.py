@@ -1,0 +1,169 @@
+"""Tests for the random-graph generators."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import (
+    community_network,
+    contact_network,
+    erdos_renyi_gnm,
+    erdos_renyi_gnp,
+    preferential_attachment,
+    watts_strogatz,
+)
+from repro.graphs.metrics import (
+    average_clustering,
+    connected_components,
+    degree_summary,
+)
+from repro.util.rng import RngStream
+
+
+class TestErdosRenyi:
+    def test_gnm_exact_counts(self, rng):
+        g = erdos_renyi_gnm(100, 250, rng)
+        assert g.num_vertices == 100
+        assert g.num_edges == 250
+        g.check_invariants()
+
+    def test_gnm_too_many_edges(self, rng):
+        with pytest.raises(GraphError):
+            erdos_renyi_gnm(4, 7, rng)  # max is 6
+
+    def test_gnm_complete_graph(self, rng):
+        g = erdos_renyi_gnm(5, 10, rng)
+        assert g.num_edges == 10
+
+    def test_gnp_mean_edges(self):
+        rng = RngStream(1)
+        n, p = 60, 0.1
+        sizes = [erdos_renyi_gnp(n, p, rng).num_edges for _ in range(30)]
+        expected = n * (n - 1) / 2 * p
+        assert sum(sizes) / len(sizes) == pytest.approx(expected, rel=0.15)
+
+    def test_gnp_extremes(self, rng):
+        assert erdos_renyi_gnp(10, 0.0, rng).num_edges == 0
+        assert erdos_renyi_gnp(6, 1.0, rng).num_edges == 15
+
+    def test_gnp_bad_probability(self, rng):
+        with pytest.raises(GraphError):
+            erdos_renyi_gnp(10, 1.2, rng)
+
+    def test_deterministic(self):
+        a = erdos_renyi_gnm(50, 100, RngStream(9))
+        b = erdos_renyi_gnm(50, 100, RngStream(9))
+        assert a == b
+
+
+class TestWattsStrogatz:
+    def test_degree_preserved_in_expectation(self, rng):
+        g = watts_strogatz(200, 10, 0.2, rng)
+        assert g.num_vertices == 200
+        # rewiring only moves endpoints that stay simple; edge count can
+        # only stay equal (rewire keeps one edge per lattice slot)
+        assert g.num_edges == 200 * 5
+        g.check_invariants()
+
+    def test_beta_zero_is_ring_lattice(self, rng):
+        g = watts_strogatz(20, 4, 0.0, rng)
+        for u in range(20):
+            assert g.has_edge(u, (u + 1) % 20)
+            assert g.has_edge(u, (u + 2) % 20)
+
+    def test_high_clustering_at_low_beta(self):
+        g = watts_strogatz(300, 10, 0.05, RngStream(4))
+        cc = average_clustering(g)
+        assert cc > 0.4  # ring lattice baseline is 2/3
+
+    def test_odd_k_rejected(self, rng):
+        with pytest.raises(GraphError):
+            watts_strogatz(20, 3, 0.1, rng)
+
+    def test_k_too_large_rejected(self, rng):
+        with pytest.raises(GraphError):
+            watts_strogatz(10, 10, 0.1, rng)
+
+    def test_bad_beta_rejected(self, rng):
+        with pytest.raises(GraphError):
+            watts_strogatz(20, 4, 1.5, rng)
+
+
+class TestPreferentialAttachment:
+    def test_sizes(self, rng):
+        g = preferential_attachment(300, 4, rng)
+        assert g.num_vertices == 300
+        # seed clique (5 choose 2) + 4 per arrival
+        assert g.num_edges == 10 + (300 - 5) * 4
+        g.check_invariants()
+
+    def test_heavy_tail(self):
+        g = preferential_attachment(2000, 5, RngStream(2))
+        ds = degree_summary(g)
+        # max degree far above average — the PA skew the paper leans on
+        assert ds["max"] > 6 * ds["avg"]
+
+    def test_min_degree(self, rng):
+        g = preferential_attachment(200, 3, rng)
+        assert min(g.degree_sequence()) >= 3
+
+    def test_connected(self, rng):
+        g = preferential_attachment(300, 2, rng)
+        assert len(connected_components(g)) == 1
+
+    def test_validation(self, rng):
+        with pytest.raises(GraphError):
+            preferential_attachment(5, 0, rng)
+        with pytest.raises(GraphError):
+            preferential_attachment(3, 3, rng)
+
+
+class TestContactNetwork:
+    def test_miami_regime(self):
+        g = contact_network(1500, RngStream(3))
+        ds = degree_summary(g)
+        cc = average_clustering(g, RngStream(4), samples=300)
+        assert 12 <= ds["avg"] <= 30
+        assert ds["max"] < 150
+        assert cc > 0.25  # clustered, unlike ER/PA
+        assert len(connected_components(g)) == 1
+        g.check_invariants()
+
+    def test_households_are_cliques(self, rng):
+        g = contact_network(50, rng, household_size=5)
+        for start in (0, 5, 10):
+            for u in range(start, start + 5):
+                for v in range(u + 1, start + 5):
+                    assert g.has_edge(u, v)
+
+    def test_too_small_rejected(self, rng):
+        with pytest.raises(GraphError):
+            contact_network(3, rng, household_size=5)
+
+    def test_bad_probability_rejected(self, rng):
+        with pytest.raises(GraphError):
+            contact_network(100, rng, in_group_probability=1.5)
+
+
+class TestCommunityNetwork:
+    def test_sizes(self, rng):
+        g = community_network(400, 4, 0.6, rng)
+        assert g.num_vertices == 400
+        # seed clique C(5,2) = 10, then 4 edges per arrival
+        assert g.num_edges == 10 + (400 - 5) * 4
+        g.check_invariants()
+
+    def test_triads_raise_clustering_over_pa(self):
+        rng1, rng2 = RngStream(5), RngStream(5)
+        flat = community_network(800, 4, 0.0, rng1)
+        triadic = community_network(800, 4, 0.9, rng2)
+        cc_flat = average_clustering(flat, RngStream(6), samples=300)
+        cc_triadic = average_clustering(triadic, RngStream(6), samples=300)
+        assert cc_triadic > 2 * cc_flat
+
+    def test_validation(self, rng):
+        with pytest.raises(GraphError):
+            community_network(100, 4, 1.5, rng)
+        with pytest.raises(GraphError):
+            community_network(100, 0, 0.5, rng)
+        with pytest.raises(GraphError):
+            community_network(3, 4, 0.5, rng)

@@ -1,0 +1,80 @@
+"""Tests for repro.graphs.io — edge-list round trips."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.graph import SimpleGraph
+from repro.graphs.io import read_edge_list, write_edge_list
+
+
+class TestRoundTrip:
+    def test_roundtrip(self, tmp_path, tiny_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(tiny_graph, path)
+        g2 = read_edge_list(path)
+        assert g2 == tiny_graph
+
+    def test_header_preserves_isolated_vertices(self, tmp_path):
+        g = SimpleGraph(10)
+        g.add_edge(0, 1)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        g2 = read_edge_list(path)
+        assert g2.num_vertices == 10
+
+    def test_explicit_vertex_count_overrides(self, tmp_path, tiny_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(tiny_graph, path)
+        g2 = read_edge_list(path, num_vertices=20)
+        assert g2.num_vertices == 20
+
+
+class TestReadEdgeCases:
+    def test_headerless_infers_n(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 5\n2 3\n")
+        g = read_edge_list(path)
+        assert g.num_vertices == 6
+        assert g.num_edges == 2
+
+    def test_blank_lines_and_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# a comment\n\n0 1\n\n# another\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("")
+        g = read_edge_list(path)
+        assert g.num_vertices == 0
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_non_integer_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_duplicate_edge_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 0\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_self_loop_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("2 2\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_malformed_header_n_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# n=xyz\n0 1\n")
+        g = read_edge_list(path)
+        assert g.num_vertices == 2

@@ -1,0 +1,119 @@
+"""Tests for repro.graphs.metrics."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.graph import SimpleGraph
+from repro.graphs.metrics import (
+    average_clustering,
+    average_shortest_path,
+    connected_components,
+    degree_summary,
+    local_clustering,
+)
+from repro.util.rng import RngStream
+
+
+def triangle_plus_tail():
+    # triangle 0-1-2 with a tail 2-3
+    return SimpleGraph.from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+
+
+class TestClustering:
+    def test_triangle_vertex(self):
+        g = triangle_plus_tail()
+        assert local_clustering(g, 0) == 1.0
+        assert local_clustering(g, 1) == 1.0
+
+    def test_hub_with_partial_closure(self):
+        g = triangle_plus_tail()
+        # vertex 2 has neighbours {0,1,3}; only (0,1) closed: 1/3
+        assert local_clustering(g, 2) == pytest.approx(1 / 3)
+
+    def test_degree_below_two_is_zero(self):
+        g = triangle_plus_tail()
+        assert local_clustering(g, 3) == 0.0
+
+    def test_average_exact(self):
+        g = triangle_plus_tail()
+        expected = (1.0 + 1.0 + 1 / 3 + 0.0) / 4
+        assert average_clustering(g) == pytest.approx(expected)
+
+    def test_complete_graph_is_one(self):
+        g = SimpleGraph.from_edges(
+            4, [(u, v) for u in range(4) for v in range(u + 1, 4)])
+        assert average_clustering(g) == 1.0
+
+    def test_tree_is_zero(self):
+        g = SimpleGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert average_clustering(g) == 0.0
+
+    def test_sampled_estimate_close(self, er_graph):
+        exact = average_clustering(er_graph)
+        approx = average_clustering(er_graph, RngStream(1), samples=200)
+        assert approx == pytest.approx(exact, abs=0.05)
+
+    def test_sampled_requires_rng(self, er_graph):
+        with pytest.raises(GraphError):
+            average_clustering(er_graph, samples=10)
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(GraphError):
+            average_clustering(SimpleGraph(0))
+
+
+class TestShortestPath:
+    def test_path_graph(self):
+        g = SimpleGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        # ordered-pair distances: rows sum 1+2+3, 1+1+2, ... = 20, /12
+        assert average_shortest_path(g) == pytest.approx(20 / 12)
+
+    def test_complete_graph_is_one(self):
+        g = SimpleGraph.from_edges(
+            5, [(u, v) for u in range(5) for v in range(u + 1, 5)])
+        assert average_shortest_path(g) == 1.0
+
+    def test_disconnected_pairs_excluded(self):
+        g = SimpleGraph.from_edges(4, [(0, 1), (2, 3)])
+        assert average_shortest_path(g) == 1.0
+
+    def test_isolated_vertices_only(self):
+        assert average_shortest_path(SimpleGraph(3)) == 0.0
+
+    def test_sampled_estimate_close(self, er_graph):
+        exact = average_shortest_path(er_graph)
+        approx = average_shortest_path(er_graph, RngStream(2), sources=80)
+        assert approx == pytest.approx(exact, rel=0.1)
+
+    def test_sampled_requires_rng(self, er_graph):
+        with pytest.raises(GraphError):
+            average_shortest_path(er_graph, sources=5)
+
+
+class TestDegreeSummary:
+    def test_values(self):
+        g = triangle_plus_tail()
+        ds = degree_summary(g)
+        assert ds["min"] == 1.0
+        assert ds["max"] == 3.0
+        assert ds["avg"] == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(GraphError):
+            degree_summary(SimpleGraph(0))
+
+
+class TestComponents:
+    def test_single_component(self):
+        g = triangle_plus_tail()
+        comps = connected_components(g)
+        assert len(comps) == 1
+        assert sorted(comps[0]) == [0, 1, 2, 3]
+
+    def test_multiple_components(self):
+        g = SimpleGraph.from_edges(5, [(0, 1), (2, 3)])
+        comps = connected_components(g)
+        assert sorted(len(c) for c in comps) == [1, 2, 2]
+
+    def test_empty_graph(self):
+        assert connected_components(SimpleGraph(0)) == []

@@ -1,0 +1,87 @@
+"""Tests for degree assortativity and the targeted rewiring variant."""
+
+import pytest
+
+from repro.core.variants import targeted_assortativity_switch
+from repro.errors import ConfigurationError, GraphError
+from repro.graphs.degree import havel_hakimi
+from repro.graphs.generators import community_network, erdos_renyi_gnm
+from repro.graphs.graph import SimpleGraph
+from repro.graphs.metrics import degree_assortativity
+from repro.util.rng import RngStream
+
+
+class TestAssortativity:
+    def test_regular_graph_is_zero(self):
+        # 4-cycle: all degrees 2 -> zero variance -> defined as 0
+        g = SimpleGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        assert degree_assortativity(g) == 0.0
+
+    def test_star_is_negative(self):
+        g = SimpleGraph.from_edges(6, [(0, i) for i in range(1, 6)])
+        assert degree_assortativity(g) < -0.9
+
+    def test_hub_hub_links_raise_assortativity(self):
+        # same hub/leaf composition, with vs without hub-hub edges
+        star = SimpleGraph.from_edges(6, [(0, i) for i in range(1, 6)])
+        edges = [(0, 1), (1, 2), (2, 3)]  # hub path
+        leaf = 4
+        for hub in (0, 1, 2, 3):
+            for _ in range(3):
+                edges.append((hub, leaf))
+                leaf += 1
+        hubby = SimpleGraph.from_edges(leaf, edges)
+        assert degree_assortativity(hubby) > degree_assortativity(star)
+
+    def test_er_graph_near_zero(self, er_graph):
+        assert abs(degree_assortativity(er_graph)) < 0.15
+
+    def test_havel_hakimi_is_assortative(self):
+        template = community_network(300, 4, 0.5, RngStream(1))
+        hh = havel_hakimi(template.degree_sequence())
+        # deterministic greedy realisation links hubs to hubs
+        assert degree_assortativity(hh) > degree_assortativity(template)
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(GraphError):
+            degree_assortativity(SimpleGraph(3))
+
+    def test_bounds(self, contact_graph):
+        r = degree_assortativity(contact_graph)
+        assert -1.0 <= r <= 1.0
+
+
+class TestTargetedRewiring:
+    @pytest.fixture(scope="class")
+    def hetero(self):
+        return community_network(250, 4, 0.4, RngStream(2))
+
+    def test_increase_direction(self, hetero):
+        res = targeted_assortativity_switch(
+            hetero, 300, RngStream(3), direction="increase")
+        assert res.final_r > res.initial_r + 0.05
+        assert res.graph.degree_sequence() == hetero.degree_sequence()
+        res.graph.check_invariants()
+
+    def test_decrease_direction(self, hetero):
+        res = targeted_assortativity_switch(
+            hetero, 300, RngStream(4), direction="decrease")
+        assert res.final_r < res.initial_r - 0.05
+        assert res.graph.degree_sequence() == hetero.degree_sequence()
+
+    def test_zero_switches(self, hetero):
+        res = targeted_assortativity_switch(hetero, 0, RngStream(5))
+        assert res.final_r == pytest.approx(res.initial_r)
+
+    def test_bad_direction_rejected(self, hetero):
+        with pytest.raises(ConfigurationError):
+            targeted_assortativity_switch(
+                hetero, 1, RngStream(0), direction="sideways")
+
+    def test_negative_t_rejected(self, hetero):
+        with pytest.raises(ConfigurationError):
+            targeted_assortativity_switch(hetero, -1, RngStream(0))
+
+    def test_attempts_at_least_switches(self, hetero):
+        res = targeted_assortativity_switch(hetero, 100, RngStream(6))
+        assert res.attempts >= res.switches == 100

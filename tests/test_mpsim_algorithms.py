@@ -1,0 +1,138 @@
+"""Tests for message-level collectives — and their agreement with the
+engine's analytic built-ins."""
+
+import math
+
+import pytest
+
+from repro.mpsim import CostModel, SimulatedCluster, ThreadCluster
+from repro.mpsim.algorithms import (
+    dissemination_barrier,
+    ring_allgather,
+    tree_allreduce,
+    tree_bcast,
+    tree_reduce,
+)
+
+
+def run_sim(p, prog, seed=1, cost_model=None):
+    return SimulatedCluster(p, seed=seed, cost_model=cost_model).run(prog)
+
+
+class TestTreeBcast:
+    @pytest.mark.parametrize("p", [1, 2, 5, 8, 13])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_everyone_gets_root_value(self, p, root):
+        if root >= p:
+            pytest.skip("root outside machine")
+
+        def prog(ctx):
+            value = "payload" if ctx.rank == root else None
+            got = yield from tree_bcast(ctx, value, root=root)
+            return got
+
+        res = run_sim(p, prog)
+        assert res.values == ["payload"] * p
+
+    def test_matches_builtin(self):
+        def prog(ctx):
+            composed = yield from tree_bcast(ctx, ctx.rank * 3, root=2)
+            builtin = yield from ctx.bcast(ctx.rank * 3, root=2)
+            return composed == builtin
+
+        res = run_sim(6, prog)
+        assert all(res.values)
+
+
+class TestTreeReduce:
+    @pytest.mark.parametrize("p", [1, 3, 8])
+    def test_sum_at_root(self, p):
+        def prog(ctx):
+            got = yield from tree_reduce(ctx, ctx.rank + 1, op="sum")
+            return got
+
+        res = run_sim(p, prog)
+        assert res.values[0] == p * (p + 1) // 2
+        assert all(v is None for v in res.values[1:])
+
+    def test_max(self):
+        def prog(ctx):
+            got = yield from tree_reduce(ctx, ctx.rank * 7, op="max")
+            return got
+
+        res = run_sim(5, prog)
+        assert res.values[0] == 28
+
+
+class TestTreeAllreduce:
+    def test_matches_builtin(self):
+        def prog(ctx):
+            composed = yield from tree_allreduce(ctx, ctx.rank + 1)
+            builtin = yield from ctx.allreduce(ctx.rank + 1)
+            return (composed, builtin)
+
+        res = run_sim(7, prog)
+        for composed, builtin in res.values:
+            assert composed == builtin == 28
+
+    def test_log_latency_scaling(self):
+        """Composed allreduce completion time grows ~log p, matching
+        the engine's analytic model's asymptotics."""
+        cm = CostModel(alpha=10.0, beta=0.0, send_overhead=0.0,
+                       recv_overhead=0.0)
+
+        def prog(ctx):
+            got = yield from tree_allreduce(ctx, 1)
+            return got
+
+        t4 = run_sim(4, prog, cost_model=cm).sim_time
+        t64 = run_sim(64, prog, cost_model=cm).sim_time
+        # 16x the ranks must cost roughly log ratio (~3x), not 16x
+        assert t64 < 4.0 * t4
+
+
+class TestRingAllgather:
+    @pytest.mark.parametrize("p", [1, 2, 6])
+    def test_matches_builtin(self, p):
+        def prog(ctx):
+            composed = yield from ring_allgather(ctx, ctx.rank * 11)
+            builtin = yield from ctx.allgather(ctx.rank * 11)
+            return composed == builtin
+
+        res = run_sim(p, prog)
+        assert all(res.values)
+
+    def test_linear_latency(self):
+        cm = CostModel(alpha=10.0, beta=0.0, send_overhead=0.0,
+                       recv_overhead=0.0)
+
+        def prog(ctx):
+            got = yield from ring_allgather(ctx, ctx.rank)
+            return got
+
+        t4 = run_sim(4, prog, cost_model=cm).sim_time
+        t32 = run_sim(32, prog, cost_model=cm).sim_time
+        # ring is O(p): 8x ranks ≈ 8-10x time
+        assert t32 > 5.0 * t4
+
+
+class TestDisseminationBarrier:
+    def test_synchronises(self):
+        def prog(ctx):
+            yield from ctx.compute(100.0 * ctx.rank)
+            yield from dissemination_barrier(ctx)
+            return "ok"
+
+        res = run_sim(9, prog)
+        assert res.values == ["ok"] * 9
+        # everyone finishes at or after the slowest arrival
+        assert res.sim_time >= 100.0 * 8
+
+    def test_on_threads_backend(self):
+        def prog(ctx):
+            yield from dissemination_barrier(ctx)
+            total = yield from tree_allreduce(ctx, 1)
+            return total
+
+        res = ThreadCluster(5, seed=2, recv_timeout=10.0).run(prog)
+        assert res.values == [5] * 5

@@ -1,0 +1,149 @@
+"""Tests for collectives on both backends (they share result logic but
+different synchronisation paths)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.mpsim import CostModel, SimulatedCluster, ThreadCluster
+
+
+BACKENDS = ["sim", "threads"]
+
+
+def run(backend, p, prog, **kw):
+    if backend == "sim":
+        return SimulatedCluster(p, seed=3, **kw).run(prog)
+    return ThreadCluster(p, seed=3, recv_timeout=10.0).run(prog)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestCollectives:
+    def test_barrier(self, backend):
+        def prog(ctx):
+            yield from ctx.compute(float(ctx.rank))
+            yield from ctx.barrier()
+            return "done"
+
+        res = run(backend, 4, prog)
+        assert res.values == ["done"] * 4
+
+    def test_allgather(self, backend):
+        def prog(ctx):
+            vals = yield from ctx.allgather(ctx.rank * ctx.rank)
+            return vals
+
+        res = run(backend, 4, prog)
+        assert all(v == [0, 1, 4, 9] for v in res.values)
+
+    def test_allreduce_sum(self, backend):
+        def prog(ctx):
+            total = yield from ctx.allreduce(ctx.rank + 1)
+            return total
+
+        res = run(backend, 4, prog)
+        assert res.values == [10] * 4
+
+    def test_allreduce_max_min(self, backend):
+        def prog(ctx):
+            mx = yield from ctx.allreduce(ctx.rank, op="max")
+            mn = yield from ctx.allreduce(ctx.rank, op="min")
+            return (mx, mn)
+
+        res = run(backend, 5, prog)
+        assert res.values == [(4, 0)] * 5
+
+    def test_allreduce_elementwise_lists(self, backend):
+        def prog(ctx):
+            vec = yield from ctx.allreduce([ctx.rank, 1, -ctx.rank])
+            return vec
+
+        res = run(backend, 3, prog)
+        assert res.values == [[3, 3, -3]] * 3
+
+    def test_bcast(self, backend):
+        def prog(ctx):
+            value = "root-data" if ctx.rank == 1 else None
+            got = yield from ctx.bcast(value, root=1)
+            return got
+
+        res = run(backend, 3, prog)
+        assert res.values == ["root-data"] * 3
+
+    def test_gather(self, backend):
+        def prog(ctx):
+            got = yield from ctx.gather(ctx.rank * 2, root=0)
+            return got
+
+        res = run(backend, 3, prog)
+        assert res.values[0] == [0, 2, 4]
+        assert res.values[1] is None and res.values[2] is None
+
+    def test_scatter(self, backend):
+        def prog(ctx):
+            items = ["a", "b", "c"] if ctx.rank == 0 else None
+            got = yield from ctx.scatter(items, root=0)
+            return got
+
+        res = run(backend, 3, prog)
+        assert res.values == ["a", "b", "c"]
+
+    def test_alltoall(self, backend):
+        def prog(ctx):
+            outgoing = [ctx.rank * 10 + dest for dest in range(ctx.size)]
+            got = yield from ctx.alltoall(outgoing)
+            return got
+
+        res = run(backend, 3, prog)
+        for r, got in enumerate(res.values):
+            assert got == [src * 10 + r for src in range(3)]
+
+    def test_sequence_of_collectives(self, backend):
+        def prog(ctx):
+            a = yield from ctx.allreduce(1)
+            b = yield from ctx.allgather(a + ctx.rank)
+            yield from ctx.barrier()
+            c = yield from ctx.bcast(b[0], root=0)
+            return c
+
+        res = run(backend, 4, prog)
+        assert res.values == [4] * 4
+
+    def test_scatter_wrong_length(self, backend):
+        def prog(ctx):
+            items = ["a"] if ctx.rank == 0 else None
+            got = yield from ctx.scatter(items, root=0)
+            return got
+
+        with pytest.raises(SimulationError):
+            run(backend, 3, prog)
+
+    def test_mismatched_kind_detected(self, backend):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.barrier()
+            else:
+                yield from ctx.allgather(1)
+
+        with pytest.raises(SimulationError):
+            run(backend, 2, prog)
+
+
+class TestCollectiveTiming:
+    def test_barrier_waits_for_slowest(self):
+        cm = CostModel(alpha=1.0, beta=0.0)
+
+        def prog(ctx):
+            yield from ctx.compute(100.0 if ctx.rank == 2 else 1.0)
+            yield from ctx.barrier()
+            return None
+
+        res = SimulatedCluster(4, cost_model=cm, seed=0).run(prog)
+        # barrier completes after the slowest (100) plus tree latency
+        expected = 100.0 + cm.collective_time("barrier", 4, 64)
+        assert res.sim_time == pytest.approx(expected)
+
+    def test_collective_cost_grows_with_ranks(self):
+        cm = CostModel()
+        t4 = cm.collective_time("allgather", 4, 64)
+        t64 = cm.collective_time("allgather", 64, 64)
+        assert t64 > t4

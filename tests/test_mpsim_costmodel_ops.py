@@ -1,0 +1,86 @@
+"""Unit tests for the cost model and op value types."""
+
+import math
+
+import pytest
+
+from repro.mpsim.costmodel import CostModel
+from repro.mpsim.ops import (
+    ANY_SOURCE,
+    ANY_TAG,
+    COLLECTIVE_KINDS,
+    Collective,
+    Compute,
+    Message,
+    Probe,
+    Recv,
+    Send,
+)
+
+
+class TestCostModel:
+    def test_wire_time(self):
+        cm = CostModel(alpha=2.0, beta=0.5)
+        assert cm.wire_time(100) == pytest.approx(2.0 + 50.0)
+
+    def test_tree_rounds(self):
+        cm = CostModel()
+        assert cm.tree_rounds(1) == 1
+        assert cm.tree_rounds(2) == 1
+        assert cm.tree_rounds(8) == 3
+        assert cm.tree_rounds(9) == 4
+        assert cm.tree_rounds(1024) == 10
+
+    def test_barrier_is_latency_only(self):
+        cm = CostModel(alpha=3.0, beta=1.0)
+        assert cm.collective_time("barrier", 8, 10**6) == pytest.approx(9.0)
+
+    def test_allgather_payload_scales_with_p(self):
+        cm = CostModel(alpha=0.0, beta=1.0)
+        t4 = cm.collective_time("allgather", 4, 10)
+        t8 = cm.collective_time("allgather", 8, 10)
+        assert t8 == pytest.approx(2 * t4)
+
+    def test_tree_collectives_log_in_p(self):
+        cm = CostModel(beta=0.0)
+        t2 = cm.collective_time("allreduce", 2, 64)
+        t1024 = cm.collective_time("allreduce", 1024, 64)
+        assert t1024 == pytest.approx(10 * t2)
+
+    def test_frozen(self):
+        cm = CostModel()
+        with pytest.raises(AttributeError):
+            cm.alpha = 5.0
+
+
+class TestMessageMatching:
+    def test_exact_match(self):
+        msg = Message(source=2, tag=7, payload="x")
+        assert msg.matches(2, 7)
+        assert not msg.matches(3, 7)
+        assert not msg.matches(2, 8)
+
+    def test_wildcards(self):
+        msg = Message(source=2, tag=7, payload="x")
+        assert msg.matches(ANY_SOURCE, 7)
+        assert msg.matches(2, ANY_TAG)
+        assert msg.matches(ANY_SOURCE, ANY_TAG)
+
+    def test_frozen_ops(self):
+        with pytest.raises(AttributeError):
+            Send(1, 2, "x").dest = 3
+        with pytest.raises(AttributeError):
+            Compute(1.0).cost = 2.0
+
+    def test_defaults(self):
+        r = Recv()
+        assert r.source == ANY_SOURCE and r.tag == ANY_TAG
+        p = Probe()
+        assert p.source == ANY_SOURCE and p.tag == ANY_TAG
+        c = Collective("barrier")
+        assert c.root == 0 and c.op == "sum"
+
+    def test_collective_kinds_closed_list(self):
+        assert "allgather" in COLLECTIVE_KINDS
+        assert "alltoall" in COLLECTIVE_KINDS
+        assert len(COLLECTIVE_KINDS) == 7

@@ -1,0 +1,128 @@
+"""Determinism of the DES backend; equivalence spot-checks against the
+real-threads backend; trace accounting."""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.mpsim import CostModel, SimulatedCluster, ThreadCluster
+
+
+def chatter_program(ctx):
+    """A moderately contended program: random sends, reductions."""
+    total = 0
+    for round_no in range(5):
+        dest = ctx.rng.randint(ctx.size)
+        yield from ctx.send(dest, 1, (ctx.rank, round_no))
+        yield from ctx.compute(1.0)
+        counts = yield from ctx.allreduce(1)
+        total += counts
+    # drain: every rank sent 5 messages; receive what's addressed to us
+    yield from ctx.barrier()
+    inbox = []
+    while (yield from ctx.iprobe(tag=1)):
+        msg = yield from ctx.recv(tag=1)
+        inbox.append(msg.payload)
+    got = yield from ctx.allreduce(len(inbox))
+    return (total, got)
+
+
+class TestDeterminism:
+    def test_same_seed_same_everything(self):
+        a = SimulatedCluster(6, seed=11).run(chatter_program)
+        b = SimulatedCluster(6, seed=11).run(chatter_program)
+        assert a.values == b.values
+        assert a.sim_time == b.sim_time
+        assert [t.messages_sent for t in a.trace.ranks] == [
+            t.messages_sent for t in b.trace.ranks]
+
+    def test_different_seed_differs(self):
+        a = SimulatedCluster(6, seed=11).run(chatter_program)
+        b = SimulatedCluster(6, seed=12).run(chatter_program)
+        # the random destinations differ, so traffic patterns differ
+        assert ([t.messages_received for t in a.trace.ranks]
+                != [t.messages_received for t in b.trace.ranks])
+
+    def test_all_messages_drained(self):
+        res = SimulatedCluster(6, seed=11).run(chatter_program)
+        total_sent = 6 * 5
+        # every rank reports the same global received count
+        assert all(v[1] == total_sent for v in res.values)
+
+
+class TestThreadsBackendEquivalence:
+    def test_collective_results_match_sim(self):
+        def prog(ctx):
+            s = yield from ctx.allreduce(ctx.rank + 1)
+            g = yield from ctx.allgather(ctx.rank)
+            return (s, tuple(g))
+
+        sim = SimulatedCluster(4, seed=0).run(prog)
+        thr = ThreadCluster(4, seed=0, recv_timeout=10.0).run(prog)
+        assert sim.values == thr.values
+
+    def test_threads_deadlock_times_out(self):
+        def prog(ctx):
+            msg = yield from ctx.recv()
+            return msg
+
+        with pytest.raises(DeadlockError):
+            ThreadCluster(2, seed=0, recv_timeout=0.3).run(prog)
+
+    def test_threads_exception_propagates(self):
+        def prog(ctx):
+            yield from ctx.compute(0.0)
+            if ctx.rank == 1:
+                raise RuntimeError("boom")
+            # other ranks block; abort must release them
+            msg = yield from ctx.recv()
+            return msg
+
+        with pytest.raises((RuntimeError, Exception)):
+            ThreadCluster(3, seed=0, recv_timeout=10.0).run(prog)
+
+    def test_threads_point_to_point(self):
+        def prog(ctx):
+            nxt = (ctx.rank + 1) % ctx.size
+            prv = (ctx.rank - 1) % ctx.size
+            yield from ctx.send(nxt, 1, ctx.rank)
+            msg = yield from ctx.recv(source=prv, tag=1)
+            return msg.payload
+
+        res = ThreadCluster(5, seed=0, recv_timeout=10.0).run(prog)
+        assert res.values == [(r - 1) % 5 for r in range(5)]
+
+
+class TestTraceAccounting:
+    def test_message_and_byte_counters(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, 1, "x", nbytes=100)
+                yield from ctx.send(1, 1, "y", nbytes=50)
+                return None
+            for _ in range(2):
+                yield from ctx.recv()
+            return None
+
+        res = SimulatedCluster(2, seed=0).run(prog)
+        assert res.trace.ranks[0].messages_sent == 2
+        assert res.trace.ranks[0].bytes_sent == 150
+        assert res.trace.ranks[1].messages_received == 2
+        assert res.trace.total_bytes == 150
+
+    def test_collective_counter(self):
+        def prog(ctx):
+            yield from ctx.barrier()
+            yield from ctx.allreduce(1)
+            return None
+
+        res = SimulatedCluster(3, seed=0).run(prog)
+        assert all(t.collectives == 2 for t in res.trace.ranks)
+
+    def test_makespan_is_max_finish(self):
+        def prog(ctx):
+            yield from ctx.compute(10.0 * (ctx.rank + 1))
+            return None
+
+        res = SimulatedCluster(3, seed=0).run(prog)
+        assert res.trace.makespan == pytest.approx(30.0)
+        assert res.sim_time == pytest.approx(30.0)

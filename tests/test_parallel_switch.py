@@ -1,0 +1,195 @@
+"""Integration tests for the distributed edge-switch protocol.
+
+These are the load-bearing tests of the reproduction: after any run, on
+any backend, with any partitioning scheme, the reassembled graph must
+be simple with the original degree sequence, every assigned operation
+accounted for, and all conversation state drained.
+"""
+
+import pytest
+
+from repro.core.parallel.driver import parallel_edge_switch
+from repro.core.sequential import sequential_edge_switch
+from repro.core.similarity import error_rate
+from repro.errors import ConfigurationError
+from repro.graphs.generators import erdos_renyi_gnm
+from repro.util.rng import RngStream
+
+
+def check_result(res, graph):
+    """The full invariant battery."""
+    res.graph.check_invariants()
+    assert res.graph.degree_sequence() == graph.degree_sequence()
+    assert res.graph.num_edges == graph.num_edges
+    assert res.switches_completed + res.forfeited >= res.config.t
+    for report in res.reports:
+        assert report.switches_completed >= 0
+        assert (report.local_switches + report.global_switches
+                == report.switches_completed)
+
+
+class TestSchemes:
+    @pytest.mark.parametrize("scheme", ["cp", "hp-d", "hp-m", "hp-u"])
+    def test_all_schemes_preserve_invariants(self, er_graph, scheme):
+        res = parallel_edge_switch(
+            er_graph, 5, t=600, step_size=150, scheme=scheme, seed=2)
+        check_result(res, er_graph)
+        assert res.switches_completed == 600
+
+    def test_scheme_names_reported(self, er_graph):
+        res = parallel_edge_switch(er_graph, 3, t=50, scheme="hp-u", seed=0)
+        assert res.scheme == "HP-U"
+
+    def test_unknown_scheme_rejected(self, er_graph):
+        with pytest.raises(ConfigurationError):
+            parallel_edge_switch(er_graph, 3, t=50, scheme="nope", seed=0)
+
+
+class TestRankCounts:
+    @pytest.mark.parametrize("p", [1, 2, 3, 7, 16])
+    def test_various_rank_counts(self, er_graph, p):
+        res = parallel_edge_switch(
+            er_graph, p, t=400, step_size=100, scheme="cp", seed=3)
+        check_result(res, er_graph)
+        assert res.switches_completed == 400
+
+    def test_single_rank_all_local(self, er_graph):
+        res = parallel_edge_switch(er_graph, 1, t=300, scheme="cp", seed=4)
+        assert res.reports[0].global_switches == 0
+        assert res.reports[0].local_switches == 300
+        assert res.run.total_messages == 0
+
+    def test_more_ranks_than_useful(self):
+        g = erdos_renyi_gnm(30, 60, RngStream(5))
+        res = parallel_edge_switch(g, 16, t=100, step_size=25,
+                                   scheme="cp", seed=5)
+        check_result(res, g)
+
+
+class TestWorkDistribution:
+    def test_assigned_matches_quota(self, er_graph):
+        res = parallel_edge_switch(
+            er_graph, 4, t=500, step_size=125, scheme="cp", seed=6)
+        assigned = sum(r.assigned_total for r in res.reports)
+        assert assigned == 500 + res.forfeited  # forfeits re-distributed
+
+    def test_steps_recorded(self, er_graph):
+        res = parallel_edge_switch(
+            er_graph, 4, t=400, step_size=100, scheme="cp", seed=7)
+        assert all(r.steps >= 4 for r in res.reports)
+
+    def test_workload_roughly_proportional_to_edges(self, er_graph):
+        res = parallel_edge_switch(
+            er_graph, 4, t=2000, step_size=500, scheme="cp", seed=8)
+        workloads = res.workload_per_rank
+        mean = sum(workloads) / len(workloads)
+        # CP starts balanced; multinomial noise stays well inside 2x
+        assert max(workloads) < 2 * mean
+
+
+class TestVisitRate:
+    def test_visit_rate_close_to_target(self, er_graph):
+        res = parallel_edge_switch(
+            er_graph, 4, visit_rate=0.9, scheme="cp", seed=9)
+        assert res.visit_rate == pytest.approx(0.9, abs=0.05)
+
+    def test_t_and_visit_rate_mutually_exclusive(self, er_graph):
+        with pytest.raises(ConfigurationError):
+            parallel_edge_switch(er_graph, 2, t=10, visit_rate=0.5)
+        with pytest.raises(ConfigurationError):
+            parallel_edge_switch(er_graph, 2)
+
+
+class TestSimilarityToSequential:
+    def test_error_rate_matches_sequential_noise_floor(self, er_graph):
+        """Section 4.6's criterion: ER(seq, par) ≈ ER(seq, seq)."""
+        t = 2000
+        n = er_graph.num_vertices
+        s1 = sequential_edge_switch(er_graph, t, RngStream(100))
+        s2 = sequential_edge_switch(er_graph, t, RngStream(200))
+        par = parallel_edge_switch(
+            er_graph, 4, t=t, step_size=200, scheme="cp", seed=300)
+        er_ss = error_rate(s1.graph.edges(), s2.graph.edges(), n, r=10)
+        er_sp = error_rate(s1.graph.edges(), par.graph.edges(), n, r=10)
+        assert er_sp < 2.5 * er_ss + 1.0
+
+
+class TestDeterminism:
+    def test_same_seed_identical_result(self, er_graph):
+        a = parallel_edge_switch(er_graph, 4, t=300, scheme="cp", seed=11)
+        b = parallel_edge_switch(er_graph, 4, t=300, scheme="cp", seed=11)
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+        assert a.sim_time == b.sim_time
+        assert a.run.total_messages == b.run.total_messages
+
+    def test_different_seed_different_graph(self, er_graph):
+        a = parallel_edge_switch(er_graph, 4, t=300, scheme="cp", seed=11)
+        b = parallel_edge_switch(er_graph, 4, t=300, scheme="cp", seed=12)
+        assert sorted(a.graph.edges()) != sorted(b.graph.edges())
+
+
+class TestThreadsBackend:
+    """The same protocol under real nondeterministic interleaving."""
+
+    @pytest.mark.parametrize("scheme", ["cp", "hp-u"])
+    def test_threads_backend_invariants(self, er_graph, scheme):
+        res = parallel_edge_switch(
+            er_graph, 4, t=300, step_size=100, scheme=scheme,
+            seed=13, backend="threads")
+        check_result(res, er_graph)
+        assert res.switches_completed == 300
+
+    def test_threads_repeated_runs_stay_simple(self, er_graph):
+        # repetition buys interleaving coverage
+        for seed in range(3):
+            res = parallel_edge_switch(
+                er_graph, 6, t=200, step_size=50, scheme="hp-d",
+                seed=seed, backend="threads")
+            check_result(res, er_graph)
+
+    def test_unknown_backend_rejected(self, er_graph):
+        with pytest.raises(ConfigurationError):
+            parallel_edge_switch(er_graph, 2, t=10, backend="mpi")
+
+
+class TestProcessBackend:
+    """The same protocol across real OS process boundaries."""
+
+    def test_procs_backend_invariants(self):
+        g = erdos_renyi_gnm(80, 400, RngStream(21))
+        res = parallel_edge_switch(
+            g, 3, t=120, step_size=40, scheme="hp-u", seed=22,
+            backend="procs")
+        check_result(res, g)
+        assert res.switches_completed == 120
+        # final graph really came through the reports
+        assert all(r.final_edge_list is not None for r in res.reports)
+
+
+class TestGraphFamilies:
+    def test_contact_graph(self, contact_graph):
+        res = parallel_edge_switch(
+            contact_graph, 6, t=800, step_size=200, scheme="cp", seed=14)
+        check_result(res, contact_graph)
+
+    def test_pa_graph_heavy_tail(self, pa_graph):
+        res = parallel_edge_switch(
+            pa_graph, 6, t=800, step_size=200, scheme="hp-u", seed=15)
+        check_result(res, pa_graph)
+
+    def test_small_world(self, sw_graph):
+        res = parallel_edge_switch(
+            sw_graph, 6, t=800, step_size=200, scheme="hp-m", seed=16)
+        check_result(res, sw_graph)
+
+
+class TestEdgeMigration:
+    def test_cp_edges_drift_between_partitions(self, contact_graph):
+        """Section 5.2's observation: with CP on clustered graphs the
+        per-rank edge counts drift from their balanced start."""
+        res = parallel_edge_switch(
+            contact_graph, 8, visit_rate=1.0, scheme="cp", seed=17)
+        initial = [r.initial_edges for r in res.reports]
+        final = res.final_edges_per_rank
+        assert sum(final) == contact_graph.num_edges
+        assert final != initial  # drift happened

@@ -1,0 +1,94 @@
+"""Tests for partition load-balance statistics and adversarial
+relabeling (Figs. 16–22 machinery)."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.graphs.graph import SimpleGraph
+from repro.partition import (
+    ConsecutivePartitioner,
+    DivisionHashPartitioner,
+)
+from repro.partition.adversary import (
+    adversarial_labels_division,
+    adversarial_labels_for,
+    relabel_graph,
+)
+from repro.partition.stats import profile_partition
+
+
+class TestProfile:
+    def test_counts_sum(self, er_graph):
+        prof = profile_partition(er_graph, DivisionHashPartitioner(
+            er_graph.num_vertices, 4))
+        assert sum(prof.vertices_per_rank) == er_graph.num_vertices
+        assert sum(prof.edges_per_rank) == er_graph.num_edges
+        assert prof.num_ranks == 4
+        assert prof.scheme == "HP-D"
+
+    def test_cp_edge_balance_beats_hpd_on_pa(self, pa_graph):
+        # the paper's Fig. 20 finding: CP balances edges on PA graphs
+        p = 8
+        cp = profile_partition(pa_graph, ConsecutivePartitioner(pa_graph, p))
+        hp = profile_partition(pa_graph, DivisionHashPartitioner(
+            pa_graph.num_vertices, p))
+        assert cp.edge_imbalance <= hp.edge_imbalance + 0.1
+
+    def test_row_formatting(self, er_graph):
+        prof = profile_partition(er_graph, DivisionHashPartitioner(
+            er_graph.num_vertices, 4))
+        row = prof.row()
+        assert "HP-D" in row and "edge-imb" in row
+
+
+class TestRelabel:
+    def test_relabel_preserves_structure(self, tiny_graph):
+        n = tiny_graph.num_vertices
+        perm = [(v + 2) % n for v in range(n)]
+        g2 = relabel_graph(tiny_graph, perm)
+        assert g2.num_edges == tiny_graph.num_edges
+        assert sorted(g2.degree_sequence()) == sorted(
+            tiny_graph.degree_sequence())
+        for u, v in tiny_graph.edges():
+            assert g2.has_edge(perm[u], perm[v])
+
+    def test_non_permutation_rejected(self, tiny_graph):
+        with pytest.raises(PartitionError):
+            relabel_graph(tiny_graph, [0] * tiny_graph.num_vertices)
+
+
+class TestAdversary:
+    def test_division_attack_concentrates_heavy_vertices(self, pa_graph):
+        p = 8
+        target = 3
+        labels = adversarial_labels_division(pa_graph, p, target_rank=target)
+        attacked = relabel_graph(pa_graph, labels)
+        prof = profile_partition(
+            attacked, DivisionHashPartitioner(attacked.num_vertices, p))
+        # the target rank now holds far more edges than average
+        avg = attacked.num_edges / p
+        assert prof.edges_per_rank[target] > 2.5 * avg
+        assert prof.edges_per_rank[target] == max(prof.edges_per_rank)
+
+    def test_attack_is_a_permutation(self, pa_graph):
+        labels = adversarial_labels_division(pa_graph, 8)
+        assert sorted(labels) == list(range(pa_graph.num_vertices))
+
+    def test_generic_attack_against_custom_owner(self, pa_graph):
+        p = 4
+        owner = lambda v: (v * 7) % p
+        labels = adversarial_labels_for(pa_graph, p, owner, target_rank=1)
+        attacked = relabel_graph(pa_graph, labels)
+        loads = [0] * p
+        for u, v in attacked.edges():
+            loads[owner(min(u, v))] += 1
+        assert loads[1] == max(loads)
+
+    def test_cp_immune_to_division_attack(self, pa_graph):
+        # Fig. 22's point: CP rebalances by degree, so the relabelled
+        # graph is still edge-balanced under CP.
+        labels = adversarial_labels_division(pa_graph, 8)
+        attacked = relabel_graph(pa_graph, labels)
+        prof = profile_partition(
+            attacked, ConsecutivePartitioner(attacked, 8))
+        assert prof.edge_imbalance < 1.5

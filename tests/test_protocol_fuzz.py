@@ -1,0 +1,61 @@
+"""Property-based fuzzing of the full distributed protocol.
+
+Hypothesis drives random (graph, rank count, scheme, step size, seed)
+configurations through the simulated backend, asserting the complete
+invariant battery on every run.  Bounded example counts keep the suite
+fast; the configurations explore corners no curated test hits.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.parallel.driver import parallel_edge_switch
+from repro.graphs.generators import erdos_renyi_gnm
+from repro.util.rng import RngStream
+
+
+@st.composite
+def switch_configs(draw):
+    n = draw(st.integers(min_value=12, max_value=60))
+    max_edges = n * (n - 1) // 2
+    m = draw(st.integers(min_value=6, max_value=min(4 * n, max_edges)))
+    p = draw(st.integers(min_value=1, max_value=9))
+    t = draw(st.integers(min_value=0, max_value=120))
+    step = draw(st.integers(min_value=1, max_value=max(1, t or 1)))
+    scheme = draw(st.sampled_from(["cp", "hp-d", "hp-m", "hp-u"]))
+    graph_seed = draw(st.integers(min_value=0, max_value=50))
+    run_seed = draw(st.integers(min_value=0, max_value=50))
+    return (n, m, p, t, step, scheme, graph_seed, run_seed)
+
+
+class TestProtocolFuzz:
+    @given(switch_configs())
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    def test_invariants_under_random_configs(self, config):
+        n, m, p, t, step, scheme, graph_seed, run_seed = config
+        graph = erdos_renyi_gnm(n, m, RngStream(graph_seed))
+        res = parallel_edge_switch(
+            graph, p, t=t, step_size=step, scheme=scheme, seed=run_seed)
+        # the invariant battery
+        res.graph.check_invariants()
+        assert res.graph.degree_sequence() == graph.degree_sequence()
+        assert res.graph.num_edges == graph.num_edges
+        assert res.switches_completed + res.forfeited <= sum(
+            r.assigned_total for r in res.reports)
+        assert 0.0 <= res.visit_rate <= 1.0
+        for report in res.reports:
+            assert report.local_switches + report.global_switches \
+                == report.switches_completed
+            assert report.forfeited >= 0
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=15, deadline=None)
+    def test_threads_backend_fuzz(self, seed):
+        graph = erdos_renyi_gnm(40, 140, RngStream(7))
+        res = parallel_edge_switch(
+            graph, 4, t=60, step_size=20, scheme="hp-u",
+            seed=seed, backend="threads")
+        res.graph.check_invariants()
+        assert res.graph.degree_sequence() == graph.degree_sequence()

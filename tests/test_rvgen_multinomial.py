@@ -1,0 +1,91 @@
+"""Tests for repro.rvgen.multinomial — the conditional-distribution
+method (Algorithm 4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DistributionError
+from repro.rvgen.multinomial import multinomial_conditional, validate_probabilities
+from repro.util.rng import RngStream
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(DistributionError):
+            validate_probabilities([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(DistributionError):
+            validate_probabilities([0.5, -0.1, 0.6])
+
+    def test_bad_sum_rejected(self):
+        with pytest.raises(DistributionError):
+            validate_probabilities([0.5, 0.2])
+
+    def test_good_vector_passes(self):
+        validate_probabilities([0.25, 0.25, 0.5])
+
+    def test_negative_trials_rejected(self, rng):
+        with pytest.raises(DistributionError):
+            multinomial_conditional(-1, [1.0], rng)
+
+
+class TestCounts:
+    def test_sums_to_n(self, rng):
+        for _ in range(50):
+            counts = multinomial_conditional(100, [0.2, 0.3, 0.5], rng)
+            assert sum(counts) == 100
+            assert all(c >= 0 for c in counts)
+
+    def test_zero_trials(self, rng):
+        assert multinomial_conditional(0, [0.5, 0.5], rng) == [0, 0]
+
+    def test_single_cell(self, rng):
+        assert multinomial_conditional(42, [1.0], rng) == [42]
+
+    def test_zero_probability_cell_gets_nothing(self, rng):
+        for _ in range(30):
+            counts = multinomial_conditional(50, [0.5, 0.0, 0.5], rng)
+            assert counts[1] == 0
+
+    def test_degenerate_cell_takes_everything(self, rng):
+        assert multinomial_conditional(17, [0.0, 1.0, 0.0], rng) == [0, 17, 0]
+
+    def test_cell_means(self):
+        rng = RngStream(99)
+        probs = [0.1, 0.2, 0.3, 0.4]
+        n, reps = 100, 2000
+        totals = [0] * 4
+        for _ in range(reps):
+            for i, c in enumerate(multinomial_conditional(n, probs, rng)):
+                totals[i] += c
+        for i, q in enumerate(probs):
+            assert totals[i] / reps == pytest.approx(n * q, rel=0.05)
+
+    def test_cell_variance_binomial_marginal(self):
+        # marginal of cell i is Binomial(n, q_i)
+        rng = RngStream(123)
+        n, q = 60, 0.3
+        draws = [multinomial_conditional(n, [q, 1 - q], rng)[0]
+                 for _ in range(3000)]
+        mean = sum(draws) / len(draws)
+        var = sum((d - mean) ** 2 for d in draws) / len(draws)
+        assert var == pytest.approx(n * q * (1 - q), rel=0.15)
+
+    def test_many_cells(self, rng):
+        ell = 200
+        counts = multinomial_conditional(10_000, [1 / ell] * ell, rng)
+        assert sum(counts) == 10_000
+        assert len(counts) == ell
+
+    @given(st.integers(min_value=0, max_value=5000),
+           st.lists(st.floats(min_value=0.01, max_value=1.0),
+                    min_size=1, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_property_sum_and_bounds(self, n, weights):
+        total = sum(weights)
+        probs = [w / total for w in weights]
+        counts = multinomial_conditional(n, probs, RngStream(n + 1))
+        assert sum(counts) == n
+        assert all(c >= 0 for c in counts)
+        assert len(counts) == len(probs)

@@ -1,0 +1,137 @@
+"""Tests for the parallel multinomial algorithm (Algorithm 5)."""
+
+import pytest
+
+from repro.errors import DistributionError
+from repro.mpsim import CostModel, SimulatedCluster, ThreadCluster
+from repro.rvgen.parallel_multinomial import (
+    distribute_switch_counts,
+    numpy_multinomial_sampler,
+    parallel_multinomial,
+    split_trials,
+)
+from repro.util.rng import RngStream
+
+
+class TestSplitTrials:
+    def test_even_split(self):
+        shares = [split_trials(100, 4, r) for r in range(4)]
+        assert shares == [25, 25, 25, 25]
+
+    def test_remainder_to_first_ranks(self):
+        shares = [split_trials(10, 4, r) for r in range(4)]
+        assert shares == [3, 3, 2, 2]
+        assert sum(shares) == 10
+
+    def test_zero_trials(self):
+        assert split_trials(0, 4, 0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(DistributionError):
+            split_trials(-1, 4, 0)
+
+    def test_more_ranks_than_trials(self):
+        shares = [split_trials(3, 8, r) for r in range(8)]
+        assert sum(shares) == 3
+        assert max(shares) == 1
+
+
+class TestParallelMultinomial:
+    def test_counts_sum_to_n(self):
+        def prog(ctx):
+            result = yield from parallel_multinomial(
+                ctx, 1000, [0.25, 0.25, 0.5])
+            return result
+
+        res = SimulatedCluster(4, seed=1).run(prog)
+        # all ranks hold the same aggregated vector
+        assert all(v == res.values[0] for v in res.values)
+        assert sum(res.values[0]) == 1000
+        assert len(res.values[0]) == 3
+
+    def test_distribution_mean(self):
+        def prog(ctx):
+            result = yield from parallel_multinomial(ctx, 2000, [0.1, 0.9])
+            return result
+
+        totals = [0, 0]
+        reps = 30
+        for seed in range(reps):
+            res = SimulatedCluster(4, seed=seed).run(prog)
+            totals[0] += res.values[0][0]
+            totals[1] += res.values[0][1]
+        assert totals[0] / reps == pytest.approx(200, rel=0.15)
+        assert totals[1] / reps == pytest.approx(1800, rel=0.05)
+
+    def test_matches_on_threads_backend(self):
+        def prog(ctx):
+            result = yield from parallel_multinomial(ctx, 500, [0.5, 0.5])
+            return result
+
+        res = ThreadCluster(3, seed=2, recv_timeout=10.0).run(prog)
+        assert all(v == res.values[0] for v in res.values)
+        assert sum(res.values[0]) == 500
+
+    def test_cost_charged_when_model_given(self):
+        cm = CostModel(trial_compute=1.0, cell_compute=0.0)
+
+        def prog(ctx):
+            result = yield from parallel_multinomial(
+                ctx, 400, [1.0], cost=cm)
+            return result
+
+        res = SimulatedCluster(4, cost_model=cm, seed=0).run(prog)
+        # each rank charged ~N/p = 100 trial units of compute
+        assert all(t.compute_time >= 100 for t in res.trace.ranks)
+
+    def test_zero_trials(self):
+        def prog(ctx):
+            result = yield from parallel_multinomial(ctx, 0, [0.3, 0.7])
+            return result
+
+        res = SimulatedCluster(2, seed=0).run(prog)
+        assert res.values[0] == [0, 0]
+
+    def test_custom_sampler_for_huge_n(self):
+        def prog(ctx):
+            result = yield from parallel_multinomial(
+                ctx, 10**12, [0.5, 0.5], sampler=numpy_multinomial_sampler)
+            return result
+
+        res = SimulatedCluster(4, seed=5).run(prog)
+        assert sum(res.values[0]) == 10**12
+        # both cells within 1% of half a trillion
+        assert res.values[0][0] == pytest.approx(5e11, rel=0.01)
+
+
+class TestDistributeSwitchCounts:
+    def test_returns_own_cell(self):
+        def prog(ctx):
+            probs = [0.0, 0.0, 1.0, 0.0]  # rank 2 owns all edges
+            own = yield from distribute_switch_counts(ctx, 123, probs)
+            return own
+
+        res = SimulatedCluster(4, seed=1).run(prog)
+        assert res.values == [0, 0, 123, 0]
+
+    def test_total_preserved(self):
+        def prog(ctx):
+            probs = [0.25] * 4
+            own = yield from distribute_switch_counts(ctx, 1000, probs)
+            total = yield from ctx.allreduce(own)
+            return total
+
+        res = SimulatedCluster(4, seed=2).run(prog)
+        assert res.values == [1000] * 4
+
+
+class TestNumpySampler:
+    def test_valid_distribution(self):
+        rng = RngStream(1)
+        counts = numpy_multinomial_sampler(10**9, [0.2, 0.3, 0.5], rng)
+        assert sum(counts) == 10**9
+        assert counts[0] == pytest.approx(2e8, rel=0.01)
+
+    def test_validates_probs(self):
+        with pytest.raises(DistributionError):
+            numpy_multinomial_sampler(10, [0.5, 0.2], RngStream(0))

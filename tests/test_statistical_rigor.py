@@ -1,0 +1,171 @@
+"""Statistical correctness of the stochastic machinery.
+
+* **Ergodicity / approximate uniformity** of the switch chain: on a
+  tiny degree sequence, enumerate the whole space of simple graphs with
+  that sequence, run many independent chains, and chi-square the
+  empirical distribution over the space against uniform.
+* **Chi-square goodness of fit** for the BINV binomial and the
+  conditional multinomial against their exact pmfs (scipy).
+"""
+
+import itertools
+import math
+
+import pytest
+
+try:
+    from scipy import stats as scipy_stats
+except ImportError:  # pragma: no cover - scipy is installed in CI
+    scipy_stats = None
+
+from repro.core.sequential import sequential_edge_switch
+from repro.graphs.degree import havel_hakimi
+from repro.graphs.graph import SimpleGraph
+from repro.rvgen.binomial import binomial_binv
+from repro.rvgen.multinomial import multinomial_conditional
+from repro.util.rng import RngStream
+
+needs_scipy = pytest.mark.skipif(scipy_stats is None,
+                                 reason="scipy not available")
+
+
+def enumerate_realisations(degrees):
+    """All labelled simple graphs with the given degree sequence
+    (brute force over edge subsets; tiny n only)."""
+    n = len(degrees)
+    pairs = list(itertools.combinations(range(n), 2))
+    m = sum(degrees) // 2
+    found = []
+    for subset in itertools.combinations(pairs, m):
+        deg = [0] * n
+        for u, v in subset:
+            deg[u] += 1
+            deg[v] += 1
+        if deg == list(degrees):
+            found.append(frozenset(subset))
+    return found
+
+
+class TestChainErgodicity:
+    DEGREES = [2, 2, 1, 2, 1]  # 6 labelled realisations
+
+    def test_space_enumeration_sanity(self):
+        space = enumerate_realisations(self.DEGREES)
+        assert len(space) >= 2
+        # every realisation has the right degree sequence by build
+        assert len(set(space)) == len(space)
+
+    def test_chain_reaches_every_realisation(self):
+        space = set(enumerate_realisations(self.DEGREES))
+        start = havel_hakimi(self.DEGREES)
+        seen = set()
+        for seed in range(200):
+            res = sequential_edge_switch(start, 6, RngStream(seed))
+            seen.add(frozenset(res.graph.edges()))
+        assert seen == space, "chain failed to reach the whole space"
+
+    @needs_scipy
+    def test_lazy_chain_is_uniform(self):
+        """The lazy chain (failed proposals are self-loop steps) is a
+        symmetric-proposal Metropolis chain: exactly uniform over the
+        realisation space in the limit."""
+        space = enumerate_realisations(self.DEGREES)
+        start = havel_hakimi(self.DEGREES)
+        reps = 1400
+        counts = {g: 0 for g in space}
+        for seed in range(reps):
+            res = sequential_edge_switch(start, 40, RngStream(10_000 + seed),
+                                         lazy=True)
+            counts[frozenset(res.graph.edges())] += 1
+        observed = list(counts.values())
+        _stat, p_value = scipy_stats.chisquare(observed)
+        # a broken chain gives p ~ 0; a uniform one comfortably > 0.001
+        assert p_value > 1e-3, f"distribution over space: {observed}"
+
+    @needs_scipy
+    def test_retry_chain_bias_is_detectable_at_tiny_scale(self):
+        """The paper's retry-until-success chain weights each graph by
+        its feasible-switch count.  On a 5-vertex space the counts
+        differ enough for chi-square to flag non-uniformity — the
+        documented reason `lazy=True` exists.  (On the paper's sparse
+        million-edge graphs the weights concentrate and the bias is
+        negligible.)"""
+        space = enumerate_realisations(self.DEGREES)
+        start = havel_hakimi(self.DEGREES)
+        reps = 1400
+        counts = {g: 0 for g in space}
+        for seed in range(reps):
+            res = sequential_edge_switch(start, 40, RngStream(20_000 + seed))
+            counts[frozenset(res.graph.edges())] += 1
+        _stat, p_value = scipy_stats.chisquare(list(counts.values()))
+        assert p_value < 0.05, "expected the retry chain's bias to show"
+
+
+class TestBinomialGoodnessOfFit:
+    @needs_scipy
+    def test_binv_matches_exact_pmf(self):
+        n, q, reps = 12, 0.35, 4000
+        rng = RngStream(77)
+        counts = [0] * (n + 1)
+        for _ in range(reps):
+            counts[binomial_binv(n, q, rng)] += 1
+        expected = [reps * scipy_stats.binom.pmf(k, n, q)
+                    for k in range(n + 1)]
+        # merge tail bins with expected < 5 (chi-square validity)
+        obs_b, exp_b = [], []
+        acc_o = acc_e = 0.0
+        for o, e in zip(counts, expected):
+            acc_o += o
+            acc_e += e
+            if acc_e >= 5:
+                obs_b.append(acc_o)
+                exp_b.append(acc_e)
+                acc_o = acc_e = 0.0
+        obs_b[-1] += acc_o
+        exp_b[-1] += acc_e
+        # normalise the tiny float drift in the expected bins
+        exp_b = [e * sum(obs_b) / sum(exp_b) for e in exp_b]
+        _stat, p_value = scipy_stats.chisquare(obs_b, exp_b)
+        assert p_value > 1e-3
+
+
+class TestMultinomialGoodnessOfFit:
+    @needs_scipy
+    def test_marginal_matches_binomial(self):
+        # cell 0 of Multinomial(n, q) is Binomial(n, q0)
+        n, probs, reps = 10, [0.3, 0.5, 0.2], 4000
+        rng = RngStream(88)
+        counts = [0] * (n + 1)
+        for _ in range(reps):
+            counts[multinomial_conditional(n, probs, rng)[0]] += 1
+        expected = [reps * scipy_stats.binom.pmf(k, n, probs[0])
+                    for k in range(n + 1)]
+        obs_b, exp_b = [], []
+        acc_o = acc_e = 0.0
+        for o, e in zip(counts, expected):
+            acc_o += o
+            acc_e += e
+            if acc_e >= 5:
+                obs_b.append(acc_o)
+                exp_b.append(acc_e)
+                acc_o = acc_e = 0.0
+        obs_b[-1] += acc_o
+        exp_b[-1] += acc_e
+        exp_b = [e * sum(obs_b) / sum(exp_b) for e in exp_b]
+        _stat, p_value = scipy_stats.chisquare(obs_b, exp_b)
+        assert p_value > 1e-3
+
+    @needs_scipy
+    def test_pairwise_correlation_is_negative(self):
+        # multinomial cells are negatively correlated:
+        # corr(X_i, X_j) = -sqrt(q_i q_j / ((1-q_i)(1-q_j)))
+        n, q0, q1, reps = 30, 0.4, 0.4, 3000
+        rng = RngStream(99)
+        xs, ys = [], []
+        for _ in range(reps):
+            c = multinomial_conditional(n, [q0, q1, 0.2], rng)
+            xs.append(c[0])
+            ys.append(c[1])
+        r, _p = scipy_stats.pearsonr(xs, ys)
+        expected = -math.sqrt(q0 * q1 / ((1 - q0) * (1 - q1)))
+        assert r == pytest.approx(expected, abs=0.08)

@@ -1,0 +1,62 @@
+"""Tests for the shared type helpers, the exception hierarchy, and the
+context-level reduction helper."""
+
+import pytest
+
+from repro import errors
+from repro.mpsim.context import reduce_values
+from repro.types import canonical_edge, is_canonical
+
+
+class TestCanonicalEdge:
+    def test_orders_endpoints(self):
+        assert canonical_edge(5, 2) == (2, 5)
+        assert canonical_edge(2, 5) == (2, 5)
+
+    def test_self_pair_allowed_by_helper(self):
+        # the helper canonicalises; simplicity is enforced by graphs
+        assert canonical_edge(3, 3) == (3, 3)
+
+    def test_is_canonical(self):
+        assert is_canonical((1, 2))
+        assert not is_canonical((2, 1))
+        assert not is_canonical((2, 2))  # loops are never canonical
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError)
+
+    def test_specific_parentage(self):
+        assert issubclass(errors.NotSimpleError, errors.GraphError)
+        assert issubclass(errors.DegreeSequenceError, errors.GraphError)
+        assert issubclass(errors.ProtocolError, errors.SwitchError)
+        assert issubclass(errors.DeadlockError, errors.SimulationError)
+
+    def test_catchable_as_family(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.DeadlockError("x")
+
+
+class TestReduceValues:
+    def test_scalars(self):
+        assert reduce_values([1, 2, 3], "sum") == 6
+        assert reduce_values([1, 2, 3], "max") == 3
+        assert reduce_values([1, 2, 3], "min") == 1
+
+    def test_lists_elementwise(self):
+        assert reduce_values([[1, 2], [3, 4]], "sum") == [4, 6]
+
+    def test_tuples_keep_type(self):
+        out = reduce_values([(1, 2), (3, 4)], "max")
+        assert out == (3, 4)
+        assert isinstance(out, tuple)
+
+    def test_empty(self):
+        assert reduce_values([], "sum") is None
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            reduce_values([1], "median")

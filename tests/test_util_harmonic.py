@@ -1,0 +1,124 @@
+"""Tests for repro.util.harmonic — visit-rate arithmetic (eq. 4)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.util.harmonic import (
+    expected_selections,
+    harmonic_number,
+    switches_for_visit_rate,
+    visit_rate_for_switches,
+)
+
+
+class TestHarmonicNumber:
+    def test_h0_is_zero(self):
+        assert harmonic_number(0) == 0.0
+
+    def test_h1(self):
+        assert harmonic_number(1) == 1.0
+
+    def test_small_exact_values(self):
+        assert harmonic_number(2) == pytest.approx(1.5)
+        assert harmonic_number(3) == pytest.approx(11 / 6)
+        assert harmonic_number(4) == pytest.approx(25 / 12)
+
+    def test_asymptotic_matches_exact_sum_at_boundary(self):
+        # straddle the exact/asymptotic switch-over: compare both sides
+        exact = sum(1.0 / i for i in range(1, 1001))
+        assert harmonic_number(1000) == pytest.approx(exact, rel=1e-12)
+
+    def test_large_approximates_log_plus_gamma(self):
+        k = 10**9
+        assert harmonic_number(k) == pytest.approx(
+            math.log(k) + 0.5772156649, rel=1e-9)
+
+    def test_fractional_argument(self):
+        # monotone between neighbouring integers
+        assert harmonic_number(10) < harmonic_number(10.5) < harmonic_number(11)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            harmonic_number(-1)
+
+    @given(st.integers(min_value=1, max_value=100_000))
+    def test_monotone_increasing(self, k):
+        assert harmonic_number(k + 1) > harmonic_number(k)
+
+
+class TestExpectedSelections:
+    def test_zero_rate_zero_work(self):
+        assert expected_selections(1000, 0.0) == 0.0
+
+    def test_full_rate_is_m_times_hm(self):
+        m = 500
+        assert expected_selections(m, 1.0) == pytest.approx(
+            m * harmonic_number(m))
+
+    def test_matches_log_approximation_for_partial_rate(self):
+        # E[T] ≈ -m ln(1-x) for large m (the paper's approximation)
+        m, x = 10**6, 0.5
+        assert expected_selections(m, x) == pytest.approx(
+            -m * math.log(1 - x), rel=1e-3)
+
+    def test_monotone_in_rate(self):
+        m = 1000
+        values = [expected_selections(m, x) for x in (0.1, 0.3, 0.5, 0.9, 1.0)]
+        assert values == sorted(values)
+        assert values[0] > 0
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expected_selections(10, 1.5)
+        with pytest.raises(ConfigurationError):
+            expected_selections(10, -0.1)
+
+    def test_invalid_m_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expected_selections(0, 0.5)
+
+
+class TestSwitchesForVisitRate:
+    def test_half_of_selections_rounded_up(self):
+        m = 1000
+        t = switches_for_visit_rate(m, 0.7)
+        assert t == math.ceil(expected_selections(m, 0.7) / 2)
+
+    def test_zero_for_zero_rate(self):
+        assert switches_for_visit_rate(100, 0.0) == 0
+
+    def test_paper_miami_magnitude(self):
+        # Paper: m = 52.7M, x = 1 gives t = 468.5M via the E[T] ≈ m ln m
+        # approximation.  We use the exact harmonic number, which adds
+        # the Euler–Mascheroni term (γ/2 · m ≈ 15.2M switches), so the
+        # exact value is ~3% above the paper's figure.
+        t = switches_for_visit_rate(52_700_000, 1.0)
+        m = 52_700_000
+        assert t == pytest.approx(m * math.log(m) / 2, rel=0.04)
+        assert t == pytest.approx(468.5e6, rel=0.04)
+
+    @given(st.integers(min_value=100, max_value=10**6),
+           st.floats(min_value=0.01, max_value=0.99))
+    def test_roundtrip_with_inverse(self, m, x):
+        t = switches_for_visit_rate(m, x)
+        x_back = visit_rate_for_switches(m, t)
+        # the inverse uses the exponential approximation and t is
+        # rounded up, so allow a small absolute gap
+        assert x_back == pytest.approx(x, abs=0.06)
+
+
+class TestVisitRateForSwitches:
+    def test_zero_switches(self):
+        assert visit_rate_for_switches(100, 0) == 0.0
+
+    def test_clamped_to_one(self):
+        assert visit_rate_for_switches(10, 10**6) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            visit_rate_for_switches(0, 5)
+        with pytest.raises(ConfigurationError):
+            visit_rate_for_switches(10, -1)

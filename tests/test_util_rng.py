@@ -1,0 +1,82 @@
+"""Tests for repro.util.rng — reproducible splittable streams."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RngStream, spawn_streams
+
+
+class TestReproducibility:
+    def test_same_seed_same_sequence(self):
+        a = RngStream(42)
+        b = RngStream(42)
+        assert [a.randint(1000) for _ in range(50)] == [
+            b.randint(1000) for _ in range(50)]
+
+    def test_different_seeds_differ(self):
+        a = [RngStream(1).randint(10**9) for _ in range(10)]
+        b = [RngStream(2).randint(10**9) for _ in range(10)]
+        assert a != b
+
+    def test_spawn_deterministic(self):
+        xs = [s.randint(10**9) for s in spawn_streams(7, 4)]
+        ys = [s.randint(10**9) for s in spawn_streams(7, 4)]
+        assert xs == ys
+
+    def test_spawned_streams_independent(self):
+        streams = spawn_streams(7, 3)
+        seqs = [[s.randint(10**9) for _ in range(20)] for s in streams]
+        assert seqs[0] != seqs[1] != seqs[2]
+
+
+class TestDraws:
+    def test_randint_range(self):
+        rng = RngStream(0)
+        draws = [rng.randint(7) for _ in range(500)]
+        assert set(draws) <= set(range(7))
+        assert len(set(draws)) == 7  # all values hit at n=500
+
+    def test_uniform_range(self):
+        rng = RngStream(0)
+        xs = [rng.uniform() for _ in range(1000)]
+        assert all(0.0 <= x < 1.0 for x in xs)
+        assert 0.4 < sum(xs) / len(xs) < 0.6
+
+    def test_coin_is_fair_ish(self):
+        rng = RngStream(3)
+        heads = sum(rng.coin() for _ in range(4000))
+        assert 1800 < heads < 2200
+
+    def test_choice_weighted_respects_zero(self):
+        rng = RngStream(1)
+        draws = {rng.choice_weighted([0.0, 1.0, 0.0]) for _ in range(100)}
+        assert draws == {1}
+
+    def test_choice_weighted_distribution(self):
+        rng = RngStream(2)
+        counts = [0, 0]
+        for _ in range(5000):
+            counts[rng.choice_weighted([0.25, 0.75])] += 1
+        assert counts[1] / 5000 == pytest.approx(0.75, abs=0.04)
+
+    def test_choice_weighted_unnormalised(self):
+        rng = RngStream(4)
+        # weights need not sum to 1 (edge counts are used directly)
+        counts = [0, 0, 0]
+        for _ in range(3000):
+            counts[rng.choice_weighted([10, 10, 20])] += 1
+        assert counts[2] / 3000 == pytest.approx(0.5, abs=0.05)
+
+    def test_permutation(self):
+        rng = RngStream(5)
+        perm = rng.permutation(10)
+        assert sorted(perm.tolist()) == list(range(10))
+
+    def test_sample_indices(self):
+        rng = RngStream(6)
+        idx = rng.sample_indices(50, 100)
+        assert idx.shape == (100,)
+        assert idx.min() >= 0 and idx.max() < 50
+
+    def test_generator_property(self):
+        assert isinstance(RngStream(0).generator, np.random.Generator)

@@ -1,0 +1,58 @@
+"""Tests for repro.util.stats."""
+
+import math
+
+import pytest
+
+from repro.util.stats import (
+    Summary,
+    coefficient_of_variation,
+    imbalance_factor,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.std == pytest.approx(math.sqrt(1.25))
+
+    def test_single_value(self):
+        s = summarize([7.0])
+        assert s.mean == 7.0 and s.std == 0.0
+
+    def test_empty(self):
+        s = summarize([])
+        assert s.count == 0
+        assert math.isnan(s.mean)
+
+
+class TestImbalance:
+    def test_perfect_balance(self):
+        assert imbalance_factor([5, 5, 5, 5]) == pytest.approx(1.0)
+
+    def test_skewed(self):
+        # one rank with 4x the average load
+        assert imbalance_factor([1, 1, 1, 13]) == pytest.approx(13 / 4)
+
+    def test_all_zero(self):
+        assert imbalance_factor([0, 0, 0]) == 1.0
+
+    def test_empty_nan(self):
+        assert math.isnan(imbalance_factor([]))
+
+
+class TestCoefficientOfVariation:
+    def test_uniform_is_zero(self):
+        assert coefficient_of_variation([3, 3, 3]) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        cv = coefficient_of_variation([1.0, 3.0])
+        assert cv == pytest.approx(1.0 / 2.0)
+
+    def test_zero_mean_nan(self):
+        assert math.isnan(coefficient_of_variation([0, 0]))
