@@ -5,6 +5,7 @@ experiment depends on: sequential switch throughput, sampling,
 partition construction, and the simulator's message throughput.
 """
 
+from repro.core.parallel.driver import parallel_edge_switch
 from repro.core.sequential import sequential_edge_switch
 from repro.graphs.generators import erdos_renyi_gnm
 from repro.graphs.reduced import ReducedAdjacencyGraph
@@ -68,3 +69,24 @@ def test_bench_simulator_message_throughput(benchmark):
 def test_bench_graph_generation(benchmark):
     g = benchmark(lambda: erdos_renyi_gnm(2000, 20_000, RngStream(3)))
     assert g.num_edges == 20_000
+
+
+def test_bench_parallel_switch_audit_off(benchmark):
+    """Baseline for the audit-overhead pair below: the protocol with the
+    auditor disabled pays one ``is None`` check per hook."""
+    g = erdos_renyi_gnm(200, 800, RngStream(4))
+    res = benchmark.pedantic(
+        lambda: parallel_edge_switch(g, 4, t=2000, step_size=500,
+                                     scheme="hp-u", seed=5),
+        rounds=3, iterations=1)
+    assert res.reports[0].audit_events is None
+
+
+def test_bench_parallel_switch_audit_on(benchmark):
+    """Same run with flight recorder + invariant auditor attached."""
+    g = erdos_renyi_gnm(200, 800, RngStream(4))
+    res = benchmark.pedantic(
+        lambda: parallel_edge_switch(g, 4, t=2000, step_size=500,
+                                     scheme="hp-u", seed=5, audit=True),
+        rounds=3, iterations=1)
+    assert res.reports[0].audit_events

@@ -1,0 +1,69 @@
+"""Bounded per-rank ring buffer of protocol events.
+
+The recorder is deliberately dumb: it appends
+:class:`~repro.audit.events.AuditEvent` records into a
+``collections.deque`` with a fixed ``maxlen`` and never allocates
+beyond it, so leaving it attached for a long run costs O(capacity)
+memory regardless of traffic.  The auditor (and the error path) read
+it back via :meth:`tail` and :meth:`events_for`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Tuple
+
+from repro.audit.events import AuditEvent, EVENT_KINDS
+
+__all__ = ["FlightRecorder"]
+
+#: Default ring capacity — enough to hold several conversations' full
+#: lifecycles on a busy rank while staying compact in an error report.
+DEFAULT_CAPACITY = 256
+
+
+class FlightRecorder:
+    """Ring buffer of the most recent protocol events on one rank."""
+
+    __slots__ = ("rank", "step", "_ring", "_seq")
+
+    def __init__(self, rank: int, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        self.rank = rank
+        #: Current step index, advanced by the rank program.
+        self.step = -1
+        self._ring = deque(maxlen=capacity)
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def capacity(self) -> int:
+        return self._ring.maxlen
+
+    @property
+    def events_recorded(self) -> int:
+        """Total events ever recorded (≥ ``len(self)``: the ring
+        evicts)."""
+        return self._seq
+
+    def record(self, kind: str, conv: Optional[Tuple[int, int]] = None,
+               note: str = "") -> AuditEvent:
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown audit event kind {kind!r}")
+        event = AuditEvent(self._seq, self.step, self.rank, kind, conv, note)
+        self._seq += 1
+        self._ring.append(event)
+        return event
+
+    def tail(self, n: Optional[int] = None) -> Tuple[AuditEvent, ...]:
+        """The last ``n`` events (default: everything retained)."""
+        if n is None or n >= len(self._ring):
+            return tuple(self._ring)
+        return tuple(list(self._ring)[-n:])
+
+    def events_for(self, conv: Tuple[int, int]) -> Tuple[AuditEvent, ...]:
+        """All retained events of one conversation, oldest first."""
+        return tuple(e for e in self._ring if e.conv == conv)

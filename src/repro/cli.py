@@ -42,6 +42,10 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--step-size", type=int, default=None)
     sw.add_argument("--seed", type=int, default=0)
     sw.add_argument("--backend", default="sim", choices=["sim", "threads"])
+    sw.add_argument("--audit", action="store_true",
+                    help="attach the protocol flight recorder and online "
+                         "invariant auditor (fails loudly with an event "
+                         "trace on any protocol violation)")
 
     sc = sub.add_parser("scaling", help="strong-scaling sweep")
     sc.add_argument("--dataset", default="miami", choices=sorted(DATASETS))
@@ -65,12 +69,16 @@ def _cmd_switch(args) -> int:
         t = switches_for_visit_rate(graph.num_edges, x)
     res = parallel_edge_switch(
         graph, args.ranks, t=t, step_size=args.step_size,
-        scheme=args.scheme, seed=args.seed, backend=args.backend)
+        scheme=args.scheme, seed=args.seed, backend=args.backend,
+        audit=args.audit)
     print(f"dataset={args.dataset} n={graph.num_vertices} "
           f"m={graph.num_edges} t={t}")
     print(f"scheme={res.scheme} ranks={args.ranks} backend={args.backend}")
     print(f"switches completed: {res.switches_completed} "
-          f"(forfeited {res.forfeited})")
+          f"(forfeited {res.forfeited}, unfulfilled {res.unfulfilled})")
+    if args.audit:
+        print("audit: protocol invariants held (per-conversation ledger, "
+              "budget and edge-count conservation, clean drain)")
     print(f"visit rate achieved: {res.visit_rate:.4f}")
     print(f"simulated time: {res.sim_time:.0f} cost units; "
           f"messages: {res.run.total_messages}")

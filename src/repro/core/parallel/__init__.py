@@ -14,16 +14,20 @@ Layers, bottom up:
   :func:`~repro.core.parallel.driver.parallel_edge_switch`.
 """
 
+from repro.audit.auditor import AuditConfig
 from repro.core.parallel.driver import (
     ParallelSwitchConfig,
     ParallelSwitchResult,
     parallel_edge_switch,
 )
 from repro.core.parallel.state import RankReport
+from repro.errors import ProtocolAuditError
 
 __all__ = [
+    "AuditConfig",
     "ParallelSwitchConfig",
     "ParallelSwitchResult",
+    "ProtocolAuditError",
     "parallel_edge_switch",
     "RankReport",
 ]

@@ -10,9 +10,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
+from repro.audit.auditor import AuditConfig, AuditScope
 from repro.core.parallel.rank_program import switch_rank_program
 from repro.core.parallel.state import RankReport
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    ProtocolAuditError,
+    ProtocolError,
+    SimulationError,
+)
 from repro.graphs.graph import SimpleGraph
 from repro.graphs.reduced import ReducedAdjacencyGraph
 from repro.mpsim.cluster import RunResult, SimulatedCluster
@@ -59,6 +65,10 @@ class ParallelSwitchConfig:
     #: Ship each rank's final edge list back in its report (needed by
     #: backends without shared memory).
     collect_edges: bool = False
+    #: Flight recorder + online invariant auditor parameters; ``None``
+    #: (the default) disables auditing entirely — the hot path then
+    #: pays one identity check per protocol hook.
+    audit: Optional[AuditConfig] = None
 
     def __post_init__(self):
         if self.t < 0:
@@ -75,6 +85,11 @@ class PerRankArgs:
     partition: ReducedAdjacencyGraph
     partitioner: Partitioner
     config: ParallelSwitchConfig
+    #: Driver-side recorder registry (audit runs only).  Shared-memory
+    #: backends register live recorders here so mid-flight failures
+    #: can still produce an event trace; the process backend pickles a
+    #: copy per worker and relies on the rank reports instead.
+    audit_scope: Optional[AuditScope] = None
 
 
 @dataclass
@@ -106,6 +121,19 @@ class ParallelSwitchResult:
         return sum(r.forfeited for r in self.reports)
 
     @property
+    def unfulfilled(self) -> int:
+        """Budget the run ended without delivering (0 on a normal
+        run).  Conservation law: ``t == switches_completed +
+        unfulfilled`` — forfeits are re-budgeted into later steps, so
+        they appear both in ``forfeited`` and in later assignments."""
+        return self.reports[0].unfulfilled if self.reports else 0
+
+    @property
+    def fully_delivered(self) -> bool:
+        """True when every requested operation was performed."""
+        return self.unfulfilled == 0
+
+    @property
     def visit_rate(self) -> float:
         total = sum(r.initial_count for r in self.reports)
         if total == 0:
@@ -129,8 +157,23 @@ def make_partitioner(
     num_ranks: int,
     rng: Optional[RngStream] = None,
 ) -> Partitioner:
-    """Build a partitioner from a scheme name (or pass one through)."""
+    """Build a partitioner from a scheme name (or validate and pass
+    one through).
+
+    A pass-through instance must match the graph and rank count: a
+    partitioner built for a different vertex universe or machine size
+    silently mis-owns edges (every ownership lookup during validation
+    chains goes through it), so mismatches are configuration errors.
+    """
     if isinstance(scheme, Partitioner):
+        if scheme.num_vertices != graph.num_vertices:
+            raise ConfigurationError(
+                f"partitioner was built for {scheme.num_vertices} "
+                f"vertices but the graph has {graph.num_vertices}")
+        if scheme.num_ranks != num_ranks:
+            raise ConfigurationError(
+                f"partitioner was built for {scheme.num_ranks} ranks "
+                f"but the run uses {num_ranks}")
         return scheme
     name = scheme.lower()
     if name == "cp":
@@ -160,6 +203,7 @@ def parallel_edge_switch(
     seed: Optional[int] = 0,
     cost_model: Optional[CostModel] = None,
     backend: str = "sim",
+    audit: Union[bool, AuditConfig, None] = False,
 ) -> ParallelSwitchResult:
     """Switch edges of ``graph`` on a ``num_ranks``-processor machine.
 
@@ -170,6 +214,15 @@ def parallel_edge_switch(
     threads, wall time) or ``"procs"`` (real OS processes, wall time);
     the latter two are for correctness testing at small ``p``.
 
+    ``audit=True`` (or an :class:`~repro.audit.AuditConfig`) attaches
+    the protocol flight recorder and online invariant auditor to every
+    rank: invariant violations raise
+    :class:`~repro.errors.ProtocolAuditError` with a replayable event
+    trace (seed + per-rank event tail), and the driver additionally
+    verifies global degree-sequence/edge-count conservation, budget
+    conservation, and that no message was left undelivered.  Off by
+    default: the hot path then costs one ``None`` check per hook.
+
     The input graph is not modified.
     """
     if (visit_rate is None) == (t is None):
@@ -179,16 +232,28 @@ def parallel_edge_switch(
     if step_size is None:
         step_size = max(1, int(t * step_fraction))
     cost = cost_model if cost_model is not None else CostModel()
+    if audit is True:
+        audit_cfg: Optional[AuditConfig] = AuditConfig()
+    elif audit is False or audit is None:
+        audit_cfg = None
+    elif isinstance(audit, AuditConfig):
+        audit_cfg = audit
+    else:
+        raise ConfigurationError(
+            f"audit must be a bool or AuditConfig, got {audit!r}")
     config = ParallelSwitchConfig(
         t=t, step_size=step_size, cost=cost,
         # workers have their own memory: results must travel in reports
         collect_edges=(backend == "procs"),
+        audit=audit_cfg,
     )
 
     scheme_rng = RngStream(None if seed is None else seed + 1)
     partitioner = make_partitioner(scheme, graph, num_ranks, scheme_rng)
     partitions = build_partitions(graph, partitioner)
-    per_rank = [PerRankArgs(part, partitioner, config) for part in partitions]
+    scope = AuditScope(audit_cfg) if audit_cfg is not None else None
+    per_rank = [PerRankArgs(part, partitioner, config, scope)
+                for part in partitions]
 
     if backend == "sim":
         cluster = SimulatedCluster(num_ranks, cost, seed=seed)
@@ -201,7 +266,26 @@ def parallel_edge_switch(
             f"unknown backend {backend!r}; expected 'sim', 'threads' "
             "or 'procs'")
 
-    run = cluster.run(switch_rank_program, per_rank_args=per_rank)
+    audit_context = {"seed": seed, "scheme": partitioner.name,
+                     "backend": backend, "t": t, "step_size": step_size,
+                     "num_ranks": num_ranks}
+    try:
+        run = cluster.run(switch_rank_program, per_rank_args=per_rank)
+    except ProtocolAuditError as exc:
+        # Re-raise with the run's replay recipe attached.
+        raise ProtocolAuditError(
+            exc.args[0].split("\n")[0], rank=exc.rank, step=exc.step,
+            conv=exc.conv, events=exc.events, context=audit_context,
+        ) from exc
+    except (ProtocolError, SimulationError) as exc:
+        if scope is None:
+            raise
+        # Deadlocks and bare protocol errors under audit still get a
+        # cross-rank event trace (shared-memory backends only).
+        raise ProtocolAuditError(
+            f"protocol failure under audit: {exc}",
+            events=scope.tails(), context=audit_context,
+        ) from exc
 
     final = SimpleGraph(graph.num_vertices)
     if backend == "procs":
@@ -213,10 +297,44 @@ def parallel_edge_switch(
             for u, v in part.edges():
                 final.add_edge(u, v)
 
-    return ParallelSwitchResult(
+    result = ParallelSwitchResult(
         graph=final,
         reports=list(run.values),
         run=run,
         scheme=partitioner.name,
         config=config,
     )
+    if audit_cfg is not None:
+        _audit_run_checks(result, graph, scope, audit_context)
+    return result
+
+
+def _audit_run_checks(result: ParallelSwitchResult, graph: SimpleGraph,
+                      scope: Optional[AuditScope], context: dict) -> None:
+    """Driver-side (global) run-end invariants, audit runs only."""
+
+    def fail(message: str) -> None:
+        events = scope.tails() if scope is not None else ()
+        raise ProtocolAuditError(message, events=events, context=context)
+
+    undelivered = result.run.trace.total_undelivered
+    if undelivered:
+        fail(f"{undelivered} message(s) left undelivered at shutdown")
+    if result.graph.num_edges != graph.num_edges:
+        fail(f"edge count not conserved: {result.graph.num_edges} != "
+             f"{graph.num_edges}")
+    if result.graph.degree_sequence() != graph.degree_sequence():
+        fail("degree sequence not conserved by the run")
+    unfulfilled = {r.unfulfilled for r in result.reports}
+    if len(unfulfilled) > 1:
+        fail(f"ranks disagree on the unfulfilled budget: "
+             f"{sorted(unfulfilled)}")
+    t = result.config.t
+    if result.switches_completed + result.unfulfilled != t:
+        fail(f"budget not conserved: completed {result.switches_completed} "
+             f"+ unfulfilled {result.unfulfilled} != t {t}")
+    for report in result.reports:
+        done = report.switches_completed + report.forfeited
+        if done != report.assigned_total:
+            fail(f"rank {report.rank} budget leak: completed+forfeited "
+                 f"{done} != assigned {report.assigned_total}")

@@ -114,7 +114,15 @@ class CommitAck:
 @dataclass(frozen=True)
 class DoneUp:
     """Termination tree, leafward→rootward: my subtree finished its
-    step quota (all conversations fully applied and acknowledged)."""
+    step quota.
+
+    A rank may only send this once it is *fully drained*: its own
+    conversations applied and acknowledged everywhere (empty ack
+    table) **and** no servant state held for other ranks'
+    conversations — a servant entry means a Commit or Abort is still
+    in flight towards this rank, and declaring done before it lands
+    would let DoneAll overtake the cleanup (the abort/termination
+    race)."""
 
     step: int
 

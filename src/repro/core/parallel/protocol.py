@@ -37,6 +37,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.audit.auditor import ProtocolAuditor
 from repro.core.constraints import FailureReason, SwitchKind, propose_switch
 from repro.core.parallel.messages import (
     Abort,
@@ -74,6 +75,9 @@ class ConversationMixin:
     serial: int
     tracker: VisitTracker
     report: RankReport
+    #: Flight recorder + invariant checker; ``None`` when auditing is
+    #: off, so the hot path pays a single identity check per hook.
+    audit: Optional[ProtocolAuditor]
 
     # -- helpers -----------------------------------------------------------
 
@@ -111,6 +115,7 @@ class ConversationMixin:
         owned here) complete inline with zero messages.
         """
         me = self.ctx.rank
+        aud = self.audit
         while self.quota > 0 and self.active is None:
             # Fairness: a long streak of local switches must not starve
             # ranks waiting for service from us — serve first.
@@ -119,6 +124,8 @@ class ConversationMixin:
             if self.part.pool_size == 0:
                 # Nothing selectable; if nothing is in flight either,
                 # this step's remaining quota is unfulfillable here.
+                if aud is not None:
+                    aud.record("forfeit", note=f"n={self.quota} empty_pool")
                 self.report.forfeited += self.quota
                 self.step_forfeited += self.quota
                 self.quota = 0
@@ -127,6 +134,8 @@ class ConversationMixin:
                 # Livelock guard for degenerate graphs (e.g. stars):
                 # give up one operation and keep going.  The counter is
                 # engine-wide so remote Retry storms trip it too.
+                if aud is not None:
+                    aud.record("forfeit", note="n=1 livelock_guard")
                 self.report.forfeited += 1
                 self.step_forfeited += 1
                 self.quota -= 1
@@ -139,6 +148,9 @@ class ConversationMixin:
             if partner != me:
                 conv = self._new_conv()
                 self.active = InitiatorState(conv, e1, checked_out=[e1])
+                if aud is not None:
+                    aud.conv_open(conv, "initiator", checked_out=1, reserved=0)
+                    aud.record("initiate", conv, f"partner={partner}")
                 yield self._proto(partner, SwitchRequest(conv, e1))
                 return
             # -- local partner: run the partner phase inline ------------
@@ -180,6 +192,8 @@ class ConversationMixin:
                 self.report.local_switches += 1
                 self.report.bump_span(1)
                 self.consecutive_failures = 0
+                if aud is not None:
+                    aud.record("local")
                 continue
             # Local pair, but a replacement edge lives elsewhere: start
             # the validation chain (the paper's local switch with
@@ -190,6 +204,10 @@ class ConversationMixin:
             self.active = InitiatorState(
                 conv, e1, e2=e2, checked_out=[e1, e2], reserved=list(mine)
             )
+            if aud is not None:
+                aud.conv_open(conv, "initiator", checked_out=2,
+                              reserved=len(mine))
+                aud.record("initiate", conv, f"chain={list(groups.keys())}")
             chain = list(groups.keys()) + [me]
             msg = Validate(
                 conv, e1, e2, kind.value, partner=me,
@@ -204,8 +222,13 @@ class ConversationMixin:
         """Partner role: select ``e2``, decide the kind, validate own
         replacement edges, and launch the validation chain."""
         me = self.ctx.rank
+        aud = self.audit
+        if aud is not None:
+            aud.record("request", msg.conv, f"from={source}")
         yield Compute(self.cost.switch_compute)
         if self.part.pool_size == 0:
+            if aud is not None:
+                aud.record("retry", msg.conv, "send empty_pool")
             yield self._proto(
                 source, Retry(msg.conv, FailureReason.EMPTY_POOL.value))
             return
@@ -215,6 +238,8 @@ class ConversationMixin:
         proposal, reason = propose_switch(msg.e1, e2, kind)
         if proposal is None:
             self.part.release(e2)
+            if aud is not None:
+                aud.record("retry", msg.conv, f"send {reason.value}")
             yield self._proto(source, Retry(msg.conv, reason.value))
             return
         groups = self._group_by_owner(proposal.add)
@@ -222,6 +247,8 @@ class ConversationMixin:
         yield Compute(self.cost.check_compute * len(mine))
         if any(self._conflicts(e) for e in mine):
             self.part.release(e2)
+            if aud is not None:
+                aud.record("retry", msg.conv, "send parallel")
             yield self._proto(
                 source, Retry(msg.conv, FailureReason.PARALLEL.value))
             return
@@ -229,6 +256,9 @@ class ConversationMixin:
             self.reserved.add(e)
         self.servant[msg.conv] = ServantState(
             msg.conv, checked_out=[e2], reserved=mine)
+        if aud is not None:
+            aud.conv_open(msg.conv, "partner", checked_out=1,
+                          reserved=len(mine))
         chain = [r for r in groups.keys() if r != source] + [source]
         out = Validate(
             msg.conv, msg.e1, e2, kind.value, partner=me,
@@ -240,7 +270,10 @@ class ConversationMixin:
         """Owner / initiator role: validate & reserve my replacement
         edges, then forward the chain or (as initiator) commit."""
         me = self.ctx.rank
+        aud = self.audit
         initiator = msg.conv[0]
+        if aud is not None:
+            aud.record("validate", msg.conv, f"from={source}")
         proposal, reason = propose_switch(
             msg.e1, msg.e2, SwitchKind(msg.kind))
         if proposal is None:  # degenerate cases are filtered at the partner
@@ -251,11 +284,18 @@ class ConversationMixin:
         mine = groups.get(me, [])
         yield Compute(self.cost.check_compute * max(1, len(mine)))
         if any(self._conflicts(e) for e in mine):
+            if aud is not None:
+                aud.record("abort", msg.conv,
+                           f"send to={list(msg.visited)}")
             for v in msg.visited:
                 yield self._proto(v, Abort(msg.conv))
             if me == initiator:
+                if aud is not None:
+                    aud.conv_close(msg.conv, "abort")
                 self._initiator_release(FailureReason.PARALLEL)
             else:
+                if aud is not None:
+                    aud.record("retry", msg.conv, "send parallel")
                 yield self._proto(
                     initiator, Retry(msg.conv, FailureReason.PARALLEL.value))
             return
@@ -267,6 +307,9 @@ class ConversationMixin:
                     f"rank {me}: initiator must terminate the chain")
             self.servant[msg.conv] = ServantState(
                 msg.conv, checked_out=[], reserved=mine)
+            if aud is not None:
+                aud.conv_open(msg.conv, "owner", checked_out=0,
+                              reserved=len(mine))
             out = Validate(
                 msg.conv, msg.e1, msg.e2, msg.kind, msg.partner,
                 visited=msg.visited + (me,), remaining=msg.remaining[1:],
@@ -282,6 +325,8 @@ class ConversationMixin:
             raise ProtocolError(
                 f"rank {me}: commit for unknown conversation {msg.conv}")
         st.reserved.extend(mine)
+        if aud is not None and mine:
+            aud.conv_reserve(msg.conv, len(mine))
         self._apply_local(st.checked_out, st.reserved)
         yield Compute(self.cost.check_compute * 4)
         for v in msg.visited:
@@ -293,6 +338,11 @@ class ConversationMixin:
         # for it to drain before DoneUp).
         if msg.visited:
             self.ack_wait[msg.conv] = len(msg.visited)
+        if aud is not None:
+            aud.record("commit", msg.conv, f"send to={list(msg.visited)}")
+            if msg.visited:
+                aud.acks_expected(msg.conv, len(msg.visited))
+            aud.conv_close(msg.conv, "commit")
         self.report.bump_span(len(msg.visited) + 1)
         self._complete_active()
 
@@ -304,6 +354,8 @@ class ConversationMixin:
             raise ProtocolError(
                 f"rank {self.ctx.rank}: Retry for unknown conversation "
                 f"{msg.conv}")
+        if self.audit is not None:
+            self.audit.conv_close(msg.conv, "retry")
         self._initiator_release(FailureReason(msg.reason))
         self.consecutive_failures += 1
         return
@@ -317,6 +369,8 @@ class ConversationMixin:
             raise ProtocolError(
                 f"rank {self.ctx.rank}: Abort for unknown conversation "
                 f"{msg.conv}")
+        if self.audit is not None:
+            self.audit.conv_close(msg.conv, "abort")
         for e in st.checked_out:
             self.part.release(e)
         for e in st.reserved:
@@ -331,9 +385,13 @@ class ConversationMixin:
             raise ProtocolError(
                 f"rank {self.ctx.rank}: Commit for unknown conversation "
                 f"{msg.conv}")
+        if self.audit is not None:
+            self.audit.conv_close(msg.conv, "commit")
         self._apply_local(st.checked_out, st.reserved)
         yield Compute(
             self.cost.check_compute * (len(st.checked_out) + len(st.reserved)))
+        if self.audit is not None:
+            self.audit.record("commit_ack", msg.conv, "send")
         yield self._proto(msg.conv[0], CommitAck(msg.conv))
 
     def handle_commit_ack(self, source: int, msg: CommitAck):
@@ -343,6 +401,8 @@ class ConversationMixin:
             raise ProtocolError(
                 f"rank {self.ctx.rank}: CommitAck for unknown conversation "
                 f"{msg.conv}")
+        if self.audit is not None:
+            self.audit.ack_received(msg.conv)
         if left == 1:
             del self.ack_wait[msg.conv]
         else:

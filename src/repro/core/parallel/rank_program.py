@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.audit.auditor import ProtocolAuditor
 from repro.core.parallel.messages import (
     Abort,
     Commit,
@@ -68,6 +69,16 @@ class SwitchRank(ConversationMixin):
         self.failure_limit = args.config.consecutive_failure_limit
         self.report = RankReport(rank=ctx.rank)
         self.tracker = VisitTracker(self.part.edges())
+        # audit (off by default: self.audit stays None and every hook
+        # in the conversation mixin is a single identity check)
+        audit_cfg = self.config.audit
+        if audit_cfg is not None:
+            self.audit = ProtocolAuditor(ctx.rank, audit_cfg)
+            scope = getattr(args, "audit_scope", None)
+            if scope is not None:
+                scope.register(ctx.rank, self.audit.recorder)
+        else:
+            self.audit = None
         # conversation state (ConversationMixin contract)
         self.reserved = set()
         self.servant = {}
@@ -98,6 +109,8 @@ class SwitchRank(ConversationMixin):
 
         counts = yield from self.ctx.allgather(self.part.num_edges, nbytes=8)
         self.q = _normalise(counts)
+        if self.audit is not None:
+            self.audit.begin_run(sum(counts))
 
         remaining = cfg.t
         max_steps = cfg.max_steps_factor * _ceil_div(cfg.t, cfg.step_size) + 8
@@ -106,11 +119,15 @@ class SwitchRank(ConversationMixin):
             assigned = yield from distribute_switch_counts(
                 self.ctx, step_quota, self.q, self.cost)
             self.report.assigned_total += assigned
+            if self.audit is not None:
+                self.audit.begin_step(self.step_index, assigned, self.report)
             yield from self._run_step(assigned)
             pairs = yield from self.ctx.allgather(
                 (self.part.num_edges, self.step_forfeited), nbytes=16)
             counts = [c for c, _ in pairs]
             forfeited = sum(f for _, f in pairs)
+            if self.audit is not None:
+                self.audit.end_step(self.step_index, self, sum(counts))
             self.report.edge_trajectory.append(self.part.num_edges)
             self.q = _normalise(counts)
             remaining -= step_quota - forfeited
@@ -119,11 +136,17 @@ class SwitchRank(ConversationMixin):
             if forfeited == step_quota and step_quota > 0:
                 break  # nobody can make progress; stop rather than spin
 
+        # Exiting with remaining > 0 (the step guard or an all-forfeit
+        # step) is legal but must not be silent: record the shortfall
+        # so the driver and callers can see under-delivery.
+        self.report.unfulfilled = remaining
         self.report.visited_count = self.tracker.visited_count
         self.report.final_edges = self.part.num_edges
         if cfg.collect_edges:
             self.report.final_edge_list = list(self.part.edges())
         self._verify_quiescent()
+        if self.audit is not None:
+            self.report.audit_events = list(self.audit.recorder.tail())
         return self.report
 
     # -- one step ------------------------------------------------------------
@@ -159,6 +182,8 @@ class SwitchRank(ConversationMixin):
             return
         if kind is DoneAll:
             self._check_step(payload.step)
+            if self.audit is not None:
+                self.audit.record("done_all", note=f"from={msg.source}")
             for child in self.children:
                 yield Send(child, TAG_PROTO, DoneAll(self.step_index),
                            NBYTES[DoneAll])
@@ -179,23 +204,39 @@ class SwitchRank(ConversationMixin):
     def _propagate_done(self):
         """Send DoneUp/DoneAll when this subtree has fully finished.
 
-        Safe because a rank's quota only reaches zero once its final
-        conversation is applied *and acknowledged* everywhere, so by the
-        time the root has heard from the whole tree there is no switch
-        traffic left in flight."""
+        Safe because a rank only declares itself done once it is fully
+        drained: its own final conversation applied *and acknowledged*
+        everywhere, and — crucially — no servant state held for other
+        ranks' conversations.  A servant entry means a Commit or Abort
+        is still in flight towards this rank (e.g. an Abort racing a
+        Retry the initiator already consumed); sending DoneUp before it
+        lands would let the root declare DoneAll with cleanup traffic
+        still in the air, leaking checkouts and reservations past the
+        step (and, on the last step, past the run).  So by the time the
+        root has heard from the whole tree there is no switch traffic
+        left in flight anywhere."""
         if self.done_up_sent:
             return
         if self.quota > 0 or self.active is not None or self.ack_wait:
+            return
+        if self.servant:
+            # Abort/termination race guard: wait for the in-flight
+            # Commit/Abort (exactly one is guaranteed per servant
+            # entry) to drain before declaring this subtree done.
             return
         if self.children_done < len(self.children):
             return
         self.done_up_sent = True
         if self.parent < 0:  # root: the whole machine is done
+            if self.audit is not None:
+                self.audit.record("done_all", note="root broadcast")
             for child in self.children:
                 yield Send(child, TAG_PROTO, DoneAll(self.step_index),
                            NBYTES[DoneAll])
             self.done_all = True
         else:
+            if self.audit is not None:
+                self.audit.record("done_up", note=f"to={self.parent}")
             yield Send(self.parent, TAG_PROTO, DoneUp(self.step_index),
                        NBYTES[DoneUp])
 
@@ -203,6 +244,10 @@ class SwitchRank(ConversationMixin):
 
     def _verify_quiescent(self) -> None:
         """At run end no conversation state may linger."""
+        if self.audit is not None:
+            # Richer failure: the auditor raises ProtocolAuditError
+            # with the flight-recorder tail attached.
+            self.audit.end_run(self)
         if self.active is not None:
             raise ProtocolError(
                 f"rank {self.ctx.rank}: active conversation at shutdown")

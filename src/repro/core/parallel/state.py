@@ -78,6 +78,14 @@ class RankReport:
     final_edge_list: Optional[List[Edge]] = None
     #: |E_i| after every step — the drift time series behind Fig. 18.
     edge_trajectory: List[int] = field(default_factory=list)
+    #: Budget the run ended without delivering (``remaining`` at exit;
+    #: global, so every rank reports the same value).  Non-zero when
+    #: the step guard or an all-forfeit step stopped the run early —
+    #: previously this shortfall was silently dropped.
+    unfulfilled: int = 0
+    #: Flight-recorder event tail, populated only when auditing is on
+    #: (the process backend ships events home through here).
+    audit_events: Optional[List] = None
 
     def bump_span(self, ranks_involved: int) -> None:
         self.span_histogram[ranks_involved] = (

@@ -15,6 +15,7 @@ __all__ = [
     "PartitionError",
     "SwitchError",
     "ProtocolError",
+    "ProtocolAuditError",
     "SimulationError",
     "DeadlockError",
     "DistributionError",
@@ -50,6 +51,38 @@ class SwitchError(ReproError):
 class ProtocolError(SwitchError):
     """The distributed edge-switch protocol reached an invalid state,
     e.g. an unexpected message type for the current phase."""
+
+
+class ProtocolAuditError(ProtocolError):
+    """The online protocol auditor detected an invariant violation.
+
+    Carries enough context to replay the failure: the violated
+    invariant (the message), the rank/step/conversation it was caught
+    at, a compact event trace from the flight recorder, and a
+    ``context`` dict the driver fills with the run's seed, scheme, and
+    backend.
+    """
+
+    def __init__(self, message, *, rank=None, step=None, conv=None,
+                 events=(), context=None):
+        self.rank = rank
+        self.step = step
+        self.conv = conv
+        self.events = tuple(events)
+        self.context = dict(context or {})
+        parts = [message]
+        where = [f"{k}={v}" for k, v in
+                 (("rank", rank), ("step", step), ("conv", conv))
+                 if v is not None]
+        if where:
+            parts.append("at " + " ".join(where))
+        if self.context:
+            parts.append("context: " + " ".join(
+                f"{k}={v}" for k, v in sorted(self.context.items())))
+        if self.events:
+            parts.append("event trace:")
+            parts.extend(f"  {e}" for e in self.events)
+        super().__init__("\n".join(parts))
 
 
 class SimulationError(ReproError):

@@ -120,6 +120,8 @@ class SimulationEngine:
                 raise SimulationError(
                     f"rank {rid}: unexpected event while blocked on a collective"
                 )
+        for st in self.ranks:
+            st.trace.undelivered = len(st.mailbox)
         return max(st.trace.finish_time for st in self.ranks)
 
     def values(self) -> List[Any]:

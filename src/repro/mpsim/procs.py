@@ -95,6 +95,8 @@ def _worker_main(rank: int, size: int, program: RankProgram, args: Any,
             try:
                 op = gen.send(value)
             except StopIteration as stop:
+                drain_pending()
+                trace["undelivered"] = len(mailbox)
                 conn.send((_DONE, (stop.value, trace)))
                 return
             value = None
@@ -288,6 +290,7 @@ class ProcessCluster:
             t.messages_sent = counters.get("sent", 0)
             t.messages_received = counters.get("received", 0)
             t.collectives = counters.get("collectives", 0)
+            t.undelivered = counters.get("undelivered", 0)
             t.finish_time = wall
             traces.append(t)
         values = [router.done.get(r) for r in range(self.num_ranks)]

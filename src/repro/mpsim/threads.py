@@ -234,4 +234,5 @@ class ThreadCluster:
         traces = [t.trace for t in threads]
         for tr in traces:
             tr.finish_time = wall
+            tr.undelivered = len(shared.mailboxes[tr.rank])
         return RunResult(wall, [t.value for t in threads], ClusterTrace(traces))

@@ -24,6 +24,10 @@ class RankTrace:
     compute_time: float = 0.0
     collectives: int = 0
     finish_time: float = 0.0
+    #: Messages still sitting in this rank's mailbox when its program
+    #: returned.  Always 0 for a correct protocol — the auditor treats
+    #: any leftover as a violation (e.g. a DoneUp that outran cleanup).
+    undelivered: int = 0
 
     def record_send(self, nbytes: int) -> None:
         self.messages_sent += 1
@@ -56,6 +60,12 @@ class ClusterTrace:
     @property
     def total_compute(self) -> float:
         return sum(r.compute_time for r in self.ranks)
+
+    @property
+    def total_undelivered(self) -> int:
+        """Messages never consumed by any rank program (0 when the
+        protocol drained cleanly)."""
+        return sum(r.undelivered for r in self.ranks)
 
     @property
     def makespan(self) -> float:

@@ -75,7 +75,14 @@ class RngStream:
             acc += w
             if u < acc:
                 return i
-        return len(weights) - 1  # numerical guard for u ~ total
+        # Numerical guard for u ~ total.  Must return a *selectable*
+        # index: a zero-weight tail (an empty partition, |E_j| = 0)
+        # would otherwise be handed out as a switch partner, whose
+        # empty pool guarantees a Retry storm.
+        for i in range(len(weights) - 1, -1, -1):
+            if weights[i] > 0.0:
+                return i
+        return len(weights) - 1  # all-zero weights: no valid choice exists
 
     # -- vector draws --------------------------------------------------
 

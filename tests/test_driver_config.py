@@ -42,7 +42,22 @@ class TestMakePartitioner:
 
     def test_passthrough_instance(self, er_graph):
         custom = ConsecutivePartitioner(er_graph, 3)
-        assert make_partitioner(custom, er_graph, 99) is custom
+        assert make_partitioner(custom, er_graph, 3) is custom
+
+    def test_passthrough_rank_mismatch_rejected(self, er_graph):
+        # Previously a 3-rank partitioner was silently accepted for a
+        # 99-rank run, leaving 96 ranks with no edges and an ownership
+        # function pointing nowhere.
+        custom = ConsecutivePartitioner(er_graph, 3)
+        with pytest.raises(ConfigurationError, match="ranks"):
+            make_partitioner(custom, er_graph, 99)
+
+    def test_passthrough_vertex_mismatch_rejected(self, er_graph):
+        from repro.graphs.graph import SimpleGraph
+        small = SimpleGraph(er_graph.num_vertices // 2)
+        custom = ConsecutivePartitioner(small, 3)
+        with pytest.raises(ConfigurationError, match="vertices"):
+            make_partitioner(custom, er_graph, 3)
 
     def test_hpu_without_rng_gets_default(self, er_graph):
         part = make_partitioner("hp-u", er_graph, 4)

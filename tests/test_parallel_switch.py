@@ -21,11 +21,22 @@ def check_result(res, graph):
     res.graph.check_invariants()
     assert res.graph.degree_sequence() == graph.degree_sequence()
     assert res.graph.num_edges == graph.num_edges
-    assert res.switches_completed + res.forfeited >= res.config.t
+    if res.unfulfilled == 0:
+        assert res.switches_completed + res.forfeited >= res.config.t
+    # Budget conservation: every budgeted operation was either
+    # completed or explicitly reported unfulfilled — never silently
+    # dropped by the step guard or an all-forfeit exit.
+    assert res.switches_completed + res.unfulfilled == res.config.t
+    assert res.unfulfilled >= 0
+    ranks_agree = {r.unfulfilled for r in res.reports}
+    assert len(ranks_agree) == 1  # the shortfall is a global quantity
     for report in res.reports:
         assert report.switches_completed >= 0
         assert (report.local_switches + report.global_switches
                 == report.switches_completed)
+        # per-rank ledger: assignments are completed or forfeited
+        assert (report.switches_completed + report.forfeited
+                == report.assigned_total)
 
 
 class TestSchemes:
@@ -164,6 +175,32 @@ class TestProcessBackend:
         assert res.switches_completed == 120
         # final graph really came through the reports
         assert all(r.final_edge_list is not None for r in res.reports)
+
+
+class TestUnderDelivery:
+    """Runs that cannot complete their budget must say so."""
+
+    def test_star_graph_reports_unfulfilled(self):
+        # No switch on a star can ever succeed (every proposal is a
+        # loop or a duplicate), so the budget comes back unfulfilled
+        # through the livelock guard + all-forfeit exit.
+        from repro.graphs.graph import SimpleGraph
+        g = SimpleGraph(12)
+        for i in range(1, 12):
+            g.add_edge(0, i)
+        res = parallel_edge_switch(g, 2, t=6, step_size=3,
+                                   scheme="cp", seed=1)
+        check_result(res, g)
+        assert res.switches_completed == 0
+        assert res.unfulfilled == 6
+        assert not res.fully_delivered
+        assert sorted(res.graph.edges()) == sorted(g.edges())
+
+    def test_normal_run_fully_delivered(self, er_graph):
+        res = parallel_edge_switch(er_graph, 4, t=200, step_size=50,
+                                   scheme="cp", seed=2)
+        assert res.unfulfilled == 0
+        assert res.fully_delivered
 
 
 class TestGraphFamilies:

@@ -9,8 +9,18 @@ fast; the configurations explore corners no curated test hits.
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.core.parallel.driver import parallel_edge_switch
+from repro.core.parallel.driver import (
+    ParallelSwitchConfig,
+    PerRankArgs,
+    make_partitioner,
+    parallel_edge_switch,
+)
+from repro.core.parallel.messages import Abort, Commit, DoneUp
+from repro.core.parallel.rank_program import SwitchRank
+from repro.core.parallel.state import ServantState
 from repro.graphs.generators import erdos_renyi_gnm
+from repro.mpsim.context import RankContext
+from repro.partition.base import build_partitions
 from repro.util.rng import RngStream
 
 
@@ -59,3 +69,98 @@ class TestProtocolFuzz:
             seed=seed, backend="threads")
         res.graph.check_invariants()
         assert res.graph.degree_sequence() == graph.degree_sequence()
+
+    @given(switch_configs())
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    def test_invariants_with_auditor_attached(self, config):
+        """The online auditor must stay silent on correct runs — any
+        ProtocolAuditError here is a real protocol (or auditor) bug."""
+        n, m, p, t, step, scheme, graph_seed, run_seed = config
+        graph = erdos_renyi_gnm(n, m, RngStream(graph_seed))
+        res = parallel_edge_switch(
+            graph, p, t=t, step_size=step, scheme=scheme, seed=run_seed,
+            audit=True)
+        res.graph.check_invariants()
+        assert res.graph.degree_sequence() == graph.degree_sequence()
+        # budget conservation is the auditor's run-level law
+        assert res.switches_completed + res.unfulfilled == t
+        assert res.run.trace.total_undelivered == 0
+
+
+def _standalone_rank(rank: int, size: int, seed: int = 0) -> SwitchRank:
+    """A SwitchRank outside any cluster, for driving handlers directly."""
+    graph = erdos_renyi_gnm(16, 30, RngStream(seed))
+    partitioner = make_partitioner("cp", graph, size, RngStream(seed))
+    partitions = build_partitions(graph, partitioner)
+    config = ParallelSwitchConfig(t=10, step_size=5)
+    args = PerRankArgs(partitions[rank], partitioner, config)
+    ctx = RankContext(rank, size, RngStream(seed + rank), args)
+    return SwitchRank(ctx)
+
+
+class TestTerminationRace:
+    """The abort/termination interleaving that used to race.
+
+    A failing rank sends Abort to the servants and Retry to the
+    initiator on *different* channels.  The initiator may consume the
+    Retry, finish its quota, and be ready to report DoneUp while the
+    Abort is still in flight towards a servant.  If that servant's own
+    quota is already done, it must hold its DoneUp until the Abort
+    lands — otherwise the root can declare DoneAll with cleanup traffic
+    (and leaked checkouts/reservations) still in the air.
+    """
+
+    def test_done_up_held_while_servant_state_pending(self):
+        sr = _standalone_rank(rank=1, size=2)
+        assert sr.parent == 0 and not sr.children
+        # quota done, nothing initiated, but one conversation is still
+        # being served: its Commit-or-Abort has not arrived yet.
+        conv = (0, 0)
+        e2 = next(iter(sr.part.edges()))
+        sr.part.checkout(e2)
+        sr.servant[conv] = ServantState(conv, checked_out=[e2], reserved=[])
+
+        held = list(sr._propagate_done())
+        assert held == []          # no DoneUp may leave this rank
+        assert not sr.done_up_sent
+
+        # ... the in-flight Abort lands and drains the servant entry ...
+        list(sr.handle_abort(0, Abort(conv)))
+        assert not sr.servant
+
+        sent = list(sr._propagate_done())
+        assert sr.done_up_sent
+        assert len(sent) == 1
+        assert isinstance(sent[0].payload, DoneUp)
+        assert sent[0].dest == sr.parent
+
+    def test_done_up_held_until_commit_applied(self):
+        # Same shape with the success path: the servant entry is
+        # resolved by a Commit instead of an Abort.
+        sr = _standalone_rank(rank=1, size=2)
+        conv = (0, 3)
+        e2 = next(iter(sr.part.edges()))
+        sr.part.checkout(e2)
+        sr.servant[conv] = ServantState(conv, checked_out=[e2], reserved=[])
+
+        assert list(sr._propagate_done()) == []
+        assert not sr.done_up_sent
+
+        ops = list(sr.handle_commit(0, Commit(conv)))
+        assert not sr.servant
+        sent = list(sr._propagate_done())
+        assert sr.done_up_sent and len(sent) == 1
+        assert isinstance(sent[0].payload, DoneUp)
+
+    def test_done_up_still_gated_on_acks(self):
+        # The pre-existing gates must survive the fix: an initiator
+        # waiting on CommitAcks may not report done either.
+        sr = _standalone_rank(rank=1, size=2)
+        sr.ack_wait[(1, 0)] = 2
+        assert list(sr._propagate_done()) == []
+        assert not sr.done_up_sent
+        del sr.ack_wait[(1, 0)]
+        sent = list(sr._propagate_done())
+        assert sr.done_up_sent and len(sent) == 1

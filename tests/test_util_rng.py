@@ -59,6 +59,28 @@ class TestDraws:
             counts[rng.choice_weighted([0.25, 0.75])] += 1
         assert counts[1] / 5000 == pytest.approx(0.75, abs=0.04)
 
+    def test_choice_weighted_zero_tail_guard(self):
+        # Regression: the numerical fallback for u ~ total used to
+        # return len(weights)-1 unconditionally, i.e. an index whose
+        # weight may be 0.0 (an empty partition) — selecting it as a
+        # switch partner guarantees a Retry.  The guard must land on
+        # the last *nonzero*-weight index instead.
+        class ForcedFallback(RngStream):
+            def uniform(self):
+                return 1.0  # u == total: the scan never fires
+
+        rng = ForcedFallback(0)
+        assert rng.choice_weighted([1.0, 0.0]) == 0
+        assert rng.choice_weighted([0.5, 0.5, 0.0, 0.0]) == 1
+        # a nonzero tail is still the correct landing spot
+        assert rng.choice_weighted([0.0, 1.0]) == 1
+
+    def test_choice_weighted_never_selects_zero_weight(self):
+        rng = RngStream(11)
+        weights = [0.0, 3.0, 0.0, 1.0, 0.0]
+        draws = {rng.choice_weighted(weights) for _ in range(2000)}
+        assert draws <= {1, 3}
+
     def test_choice_weighted_unnormalised(self):
         rng = RngStream(4)
         # weights need not sum to 1 (edge counts are used directly)
