@@ -158,8 +158,9 @@ class ProtocolAuditor:
         ledger = self.open_convs.pop(conv, None)
         if ledger is None:
             self.fail(f"{how} for a conversation not open here", conv)
-        self.record(how if how in ("commit", "abort", "retry") else "commit",
-                    conv, f"close role={ledger.role}")
+        kind = how if how in ("commit", "abort", "retry", "forfeit") \
+            else "commit"
+        self.record(kind, conv, f"close role={ledger.role}")
 
     def acks_expected(self, conv: Conv, count: int) -> None:
         if conv in self.acks_due:
@@ -175,6 +176,24 @@ class ProtocolAuditor:
         else:
             self.acks_due[conv] = left - 1
         self.record("commit_ack", conv, "recv")
+
+    def ack_cancelled(self, conv: Conv, dead_rank: int) -> None:
+        """An expected CommitAck will never come — its sender died.
+        The debt is forgiven, not paid (fault tolerance only)."""
+        left = self.acks_due.get(conv)
+        if left is None:
+            self.fail("ack cancelled with no acks outstanding", conv)
+        if left == 1:
+            del self.acks_due[conv]
+        else:
+            self.acks_due[conv] = left - 1
+        self.record("ack_cancel", conv, f"dead={dead_rank}")
+
+    def rebase_edges(self, global_edges: int, note: str = "") -> None:
+        """A rank died: its partition leaves the global edge total, so
+        the conservation baseline must move (fault tolerance only)."""
+        self.initial_global_edges = global_edges
+        self.record("rank_dead", note=note or f"rebase={global_edges}")
 
     # -- boundaries ----------------------------------------------------
 

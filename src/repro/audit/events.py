@@ -22,6 +22,12 @@ done_all    DoneAll received/forwarded; serve loop exits
 step_end    step boundary passed all invariant checks
 run_end     run boundary reached
 violation   an invariant check failed (the auditor raises too)
+retransmit  an unacked frame was retransmitted (fault tolerance)
+dup_drop    a duplicate frame was suppressed on receive
+rank_dead   a peer's death was learned (note: cleanup performed)
+ack_cancel  an expected CommitAck was forgiven (dead acker)
+checkpoint  a step-boundary snapshot was offered/restored
+drain       end-of-run drain consumed leftover traffic (note: count)
 ========== =====================================================
 
 Events are small frozen dataclasses so they pickle cheaply (the
@@ -54,6 +60,12 @@ EVENT_KINDS = frozenset({
     "step_end",
     "run_end",
     "violation",
+    "retransmit",
+    "dup_drop",
+    "rank_dead",
+    "ack_cancel",
+    "checkpoint",
+    "drain",
 })
 
 

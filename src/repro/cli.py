@@ -16,6 +16,7 @@ import sys
 from typing import List, Optional
 
 from repro.core.parallel.driver import parallel_edge_switch
+from repro.mpsim.faults import FaultPlan
 from repro.datasets import DATASETS, load_dataset
 from repro.experiments import print_series, print_table, strong_scaling
 from repro.experiments.registry import EXPERIMENTS
@@ -41,11 +42,41 @@ def build_parser() -> argparse.ArgumentParser:
                     help="explicit t (overrides --visit-rate)")
     sw.add_argument("--step-size", type=int, default=None)
     sw.add_argument("--seed", type=int, default=0)
-    sw.add_argument("--backend", default="sim", choices=["sim", "threads"])
+    sw.add_argument("--backend", default="sim",
+                    choices=["sim", "threads", "procs"])
     sw.add_argument("--audit", action="store_true",
                     help="attach the protocol flight recorder and online "
                          "invariant auditor (fails loudly with an event "
                          "trace on any protocol violation)")
+    ft = sw.add_argument_group(
+        "fault injection / fault tolerance",
+        "deterministic faults (seeded, identical on every backend); any "
+        "message fault or crash implicitly arms the reliable channel")
+    ft.add_argument("--drop-rate", type=float, default=0.0,
+                    help="probability a sent message is silently dropped")
+    ft.add_argument("--dup-rate", type=float, default=0.0,
+                    help="probability a sent message is delivered twice")
+    ft.add_argument("--delay-rate", type=float, default=0.0,
+                    help="probability a sent message is held and re-emitted "
+                         "a few sends later")
+    ft.add_argument("--crash-rank", type=int, default=-1,
+                    help="rank to fail-stop mid-run (-1: none)")
+    ft.add_argument("--crash-at-op", type=int, default=-1,
+                    help="op count on --crash-rank at which the crash fires")
+    ft.add_argument("--fault-seed", type=int, default=0,
+                    help="master seed of the per-rank fault streams")
+    ft.add_argument("--fault-tolerance", action="store_true",
+                    help="arm the reliable channel (retransmit + dedup) even "
+                         "without an active fault plan")
+    ck = sw.add_argument_group("checkpoint / restart")
+    ck.add_argument("--checkpoint", metavar="DIR", default=None,
+                    help="write a step-boundary checkpoint file to DIR "
+                         "(sim/threads backends)")
+    ck.add_argument("--resume", metavar="DIR", default=None,
+                    help="resume from the newest checkpoint in DIR")
+    ck.add_argument("--halt-after-step", type=int, default=None,
+                    help="stop cleanly after this step boundary (pairs with "
+                         "--checkpoint to rehearse restart)")
 
     sc = sub.add_parser("scaling", help="strong-scaling sweep")
     sc.add_argument("--dataset", default="miami", choices=sorted(DATASETS))
@@ -67,10 +98,20 @@ def _cmd_switch(args) -> int:
     if t is None:
         x = args.visit_rate if args.visit_rate is not None else 1.0
         t = switches_for_visit_rate(graph.num_edges, x)
+    faults = None
+    if (args.drop_rate or args.dup_rate or args.delay_rate
+            or args.crash_rank >= 0):
+        faults = FaultPlan(
+            seed=args.fault_seed, drop_rate=args.drop_rate,
+            duplicate_rate=args.dup_rate, delay_rate=args.delay_rate,
+            crash_rank=args.crash_rank, crash_at_op=args.crash_at_op)
     res = parallel_edge_switch(
         graph, args.ranks, t=t, step_size=args.step_size,
         scheme=args.scheme, seed=args.seed, backend=args.backend,
-        audit=args.audit)
+        audit=args.audit, faults=faults,
+        fault_tolerance=True if args.fault_tolerance else None,
+        checkpoint=args.checkpoint, resume=args.resume,
+        halt_after_step=args.halt_after_step)
     print(f"dataset={args.dataset} n={graph.num_vertices} "
           f"m={graph.num_edges} t={t}")
     print(f"scheme={res.scheme} ranks={args.ranks} backend={args.backend}")
@@ -83,8 +124,17 @@ def _cmd_switch(args) -> int:
     print(f"simulated time: {res.sim_time:.0f} cost units; "
           f"messages: {res.run.total_messages}")
     res.graph.check_invariants()
-    assert res.graph.degree_sequence() == graph.degree_sequence()
-    print("invariants verified: graph simple, degree sequence preserved")
+    if res.dead_ranks:
+        print(f"crashed ranks: {res.dead_ranks} — their partitions are "
+              f"lost; survivor identity t == completed + unfulfilled holds")
+        print("invariants verified: surviving graph simple")
+    else:
+        if args.halt_after_step is not None:
+            print(f"halted at step boundary {args.halt_after_step}; "
+                  f"resume with --resume to finish the run")
+        assert res.graph.degree_sequence() == graph.degree_sequence()
+        print("invariants verified: graph simple, degree sequence "
+              "preserved")
     return 0
 
 

@@ -53,6 +53,9 @@ class FailureReason(enum.Enum):
     PARALLEL = "parallel"
     SAME_EDGE = "same_edge"
     EMPTY_POOL = "empty_pool"
+    #: A conversation participant died (fault tolerance): the attempt
+    #: is abandoned and the initiator picks a fresh pair.
+    DEAD_PEER = "dead_peer"
 
 
 @dataclass(frozen=True)

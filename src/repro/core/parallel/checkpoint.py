@@ -1,0 +1,176 @@
+"""Step-boundary checkpoint/restart for the parallel switch.
+
+A checkpoint is taken only at a step boundary, which PR-1's quiescence
+invariant makes trivially consistent: after DoneAll and the step
+allgather there are **zero** in-flight messages, no open conversations,
+no reservations, and no checked-out edges — so a snapshot needs no
+mailbox or conversation state at all.  Per rank it captures exactly:
+
+* the partition (reduced adjacency lists, including the indexed edge
+  list — restored *in place* so driver-held references stay valid);
+* the visit tracker (which initial edges were consumed);
+* the RNG stream position (``bit_generator.state`` — the resumed
+  stream continues bit-identically);
+* the budget counters (``remaining``, step index, per-rank completion
+  totals, the probability vector) and the cumulative report.
+
+A resumed run replays from the snapshot's step boundary and produces a
+final edge list **bit-identical** to the uninterrupted run, because
+every source of randomness is part of the state and the protocol is
+deterministic given the streams (on the discrete-event backend).
+
+Mechanics: every rank offers its blob to a shared
+:class:`CheckpointSink` after each step's allgather; once all ``p``
+blobs for a step have arrived the sink writes one atomic file
+(temp + rename) and prunes old ones.  The sink lives in driver memory,
+which is why checkpointing is limited to the in-process backends (sim,
+threads); the process backend raises
+:class:`~repro.errors.ConfigurationError` in the driver.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import CheckpointError
+
+__all__ = [
+    "CheckpointConfig",
+    "CheckpointSink",
+    "load_checkpoint",
+    "latest_checkpoint",
+]
+
+#: Checkpoint file format version (bumped on layout changes).
+FORMAT = 1
+
+_PREFIX = "switch-ckpt-step"
+_SUFFIX = ".pkl"
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Where and how often to snapshot."""
+
+    #: Directory checkpoint files are written to (created if missing).
+    directory: str
+    #: Snapshot every this-many steps.
+    every: int = 1
+    #: Keep at most this many checkpoint files (oldest pruned).
+    keep: int = 2
+
+    def __post_init__(self):
+        if self.every < 1:
+            raise CheckpointError(f"every must be >= 1, got {self.every}")
+        if self.keep < 1:
+            raise CheckpointError(f"keep must be >= 1, got {self.keep}")
+
+
+class CheckpointSink:
+    """Collects per-rank state blobs and writes one file per completed
+    step.  Thread-safe (the threads backend offers concurrently)."""
+
+    def __init__(self, config: CheckpointConfig, num_ranks: int):
+        self.config = config
+        self.num_ranks = num_ranks
+        self._lock = threading.Lock()
+        self._pending: Dict[int, Dict[int, bytes]] = {}
+        #: Steps fully written, ascending.
+        self.written: List[int] = []
+        os.makedirs(config.directory, exist_ok=True)
+
+    def wants(self, step: int) -> bool:
+        """Should ranks offer a snapshot for ``step``?"""
+        return step % self.config.every == 0
+
+    def offer(self, rank: int, step: int, blob: bytes) -> None:
+        """One rank's snapshot for ``step``; the file is written when
+        the last rank's blob arrives."""
+        with self._lock:
+            slot = self._pending.setdefault(step, {})
+            slot[rank] = blob
+            if len(slot) < self.num_ranks:
+                return
+            del self._pending[step]
+            self._write(step, slot)
+            self.written.append(step)
+            self._prune()
+
+    # -- file I/O (lock held) ------------------------------------------
+
+    def _write(self, step: int, blobs: Dict[int, bytes]) -> None:
+        payload = {
+            "format": FORMAT,
+            "step": step,
+            "num_ranks": self.num_ranks,
+            "blobs": [blobs[r] for r in range(self.num_ranks)],
+        }
+        directory = self.config.directory
+        path = checkpoint_path(directory, step)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh)
+            os.replace(tmp, path)  # atomic: never a torn checkpoint
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _prune(self) -> None:
+        while len(self.written) > self.config.keep:
+            old = self.written.pop(0)
+            try:
+                os.unlink(checkpoint_path(self.config.directory, old))
+            except OSError:
+                pass
+
+
+def checkpoint_path(directory: str, step: int) -> str:
+    return os.path.join(directory, f"{_PREFIX}{step:06d}{_SUFFIX}")
+
+
+def latest_checkpoint(directory: str) -> Optional[str]:
+    """Path of the newest checkpoint file in ``directory`` (by step
+    number), or ``None``."""
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return None
+    steps = []
+    for name in names:
+        if name.startswith(_PREFIX) and name.endswith(_SUFFIX):
+            try:
+                steps.append(int(name[len(_PREFIX):-len(_SUFFIX)]))
+            except ValueError:
+                continue
+    if not steps:
+        return None
+    return checkpoint_path(directory, max(steps))
+
+
+def load_checkpoint(path: str, num_ranks: int) -> List[dict]:
+    """Read a checkpoint file and return the per-rank state dicts."""
+    try:
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}")
+    except (pickle.UnpicklingError, EOFError) as exc:
+        raise CheckpointError(f"corrupt checkpoint {path}: {exc}")
+    if payload.get("format") != FORMAT:
+        raise CheckpointError(
+            f"checkpoint {path} has format {payload.get('format')!r}, "
+            f"expected {FORMAT}")
+    if payload["num_ranks"] != num_ranks:
+        raise CheckpointError(
+            f"checkpoint {path} was taken with {payload['num_ranks']} "
+            f"ranks; this run uses {num_ranks}")
+    return [pickle.loads(blob) for blob in payload["blobs"]]

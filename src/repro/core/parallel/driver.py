@@ -7,12 +7,22 @@ plus the statistics every experiment consumes.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
 from repro.audit.auditor import AuditConfig, AuditScope
+from repro.core.parallel.checkpoint import (
+    CheckpointConfig,
+    CheckpointSink,
+    latest_checkpoint,
+    load_checkpoint,
+)
+from repro.core.parallel.ftolerance import FTConfig
 from repro.core.parallel.rank_program import switch_rank_program
 from repro.core.parallel.state import RankReport
+from repro.errors import CheckpointError
+from repro.mpsim.faults import FaultPlan
 from repro.errors import (
     ConfigurationError,
     ProtocolAuditError,
@@ -69,6 +79,10 @@ class ParallelSwitchConfig:
     #: (the default) disables auditing entirely — the hot path then
     #: pays one identity check per protocol hook.
     audit: Optional[AuditConfig] = None
+    #: Protocol-level fault tolerance (framing, ack/retransmit, dedup,
+    #: death handling); ``None`` (the default) disables it — protocol
+    #: payloads then travel bare, exactly as without this feature.
+    fault_tolerance: Optional[FTConfig] = None
 
     def __post_init__(self):
         if self.t < 0:
@@ -90,6 +104,14 @@ class PerRankArgs:
     #: can still produce an event trace; the process backend pickles a
     #: copy per worker and relies on the rank reports instead.
     audit_scope: Optional[AuditScope] = None
+    #: Step-boundary checkpoint collector (in-process backends only;
+    #: the sink lives in driver memory).
+    checkpoint_sink: Optional[CheckpointSink] = None
+    #: Per-rank snapshot dict to restore before the run starts.
+    restore_state: Optional[dict] = None
+    #: Stop cleanly after this many completed steps — a deterministic
+    #: kill point for checkpoint/restart testing.
+    halt_after_step: Optional[int] = None
 
 
 @dataclass
@@ -98,8 +120,9 @@ class ParallelSwitchResult:
 
     #: Final graph, reassembled from all partitions.
     graph: SimpleGraph
-    #: Per-rank statistics, rank order.
-    reports: List[RankReport]
+    #: Per-rank statistics, rank order (``None`` at a crashed rank's
+    #: slot — fault-injection runs only).
+    reports: List[Optional[RankReport]]
     #: The backend's run result (simulated time, traces).
     run: RunResult
     #: Scheme name used ("CP", "HP-U", ...).
@@ -113,20 +136,33 @@ class ParallelSwitchResult:
         return self.run.sim_time
 
     @property
+    def live_reports(self) -> List[RankReport]:
+        """Reports of the ranks that survived the run."""
+        return [r for r in self.reports if r is not None]
+
+    @property
+    def dead_ranks(self) -> List[int]:
+        """Ranks a fault plan crashed, ascending (empty otherwise)."""
+        return self.run.trace.crashed_ranks
+
+    @property
     def switches_completed(self) -> int:
-        return sum(r.switches_completed for r in self.reports)
+        return sum(r.switches_completed for r in self.live_reports)
 
     @property
     def forfeited(self) -> int:
-        return sum(r.forfeited for r in self.reports)
+        return sum(r.forfeited for r in self.live_reports)
 
     @property
     def unfulfilled(self) -> int:
         """Budget the run ended without delivering (0 on a normal
         run).  Conservation law: ``t == switches_completed +
         unfulfilled`` — forfeits are re-budgeted into later steps, so
-        they appear both in ``forfeited`` and in later assignments."""
-        return self.reports[0].unfulfilled if self.reports else 0
+        they appear both in ``forfeited`` and in later assignments.
+        The law survives rank deaths: a dead rank's completions are
+        re-budgeted to the survivors."""
+        live = self.live_reports
+        return live[0].unfulfilled if live else 0
 
     @property
     def fully_delivered(self) -> bool:
@@ -135,20 +171,22 @@ class ParallelSwitchResult:
 
     @property
     def visit_rate(self) -> float:
-        total = sum(r.initial_count for r in self.reports)
+        total = sum(r.initial_count for r in self.live_reports)
         if total == 0:
             return 0.0
-        return sum(r.visited_count for r in self.reports) / total
+        return sum(r.visited_count for r in self.live_reports) / total
 
     @property
     def workload_per_rank(self) -> List[int]:
         """Switch operations assigned per rank (Figs. 19–21)."""
-        return [r.assigned_total for r in self.reports]
+        return [r.assigned_total if r is not None else 0
+                for r in self.reports]
 
     @property
     def final_edges_per_rank(self) -> List[int]:
         """|E_i| after the run (Fig. 18)."""
-        return [r.final_edges for r in self.reports]
+        return [r.final_edges if r is not None else 0
+                for r in self.reports]
 
 
 def make_partitioner(
@@ -204,6 +242,11 @@ def parallel_edge_switch(
     cost_model: Optional[CostModel] = None,
     backend: str = "sim",
     audit: Union[bool, AuditConfig, None] = False,
+    faults: Optional[FaultPlan] = None,
+    fault_tolerance: Union[bool, FTConfig, None] = None,
+    checkpoint: Union[str, CheckpointConfig, None] = None,
+    resume: Optional[str] = None,
+    halt_after_step: Optional[int] = None,
 ) -> ParallelSwitchResult:
     """Switch edges of ``graph`` on a ``num_ranks``-processor machine.
 
@@ -223,6 +266,22 @@ def parallel_edge_switch(
     conservation, and that no message was left undelivered.  Off by
     default: the hot path then costs one ``None`` check per hook.
 
+    ``faults`` injects a deterministic
+    :class:`~repro.mpsim.faults.FaultPlan` (drops, duplicates, delays,
+    a crash) into the chosen backend; passing one implicitly enables
+    protocol-level fault tolerance unless ``fault_tolerance`` is given
+    explicitly.  ``fault_tolerance=True`` (or an
+    :class:`~repro.core.parallel.ftolerance.FTConfig`) frames every
+    protocol message for ack/retransmit/dedup and handles rank deaths.
+
+    ``checkpoint`` (a directory path or
+    :class:`~repro.core.parallel.checkpoint.CheckpointConfig`) writes
+    step-boundary snapshots; ``resume`` restarts from a checkpoint
+    file (or the newest one in a directory).  In-process backends only
+    — the process backend cannot share a sink.  ``halt_after_step``
+    stops the run cleanly after that many steps (a deterministic kill
+    point for restart testing).
+
     The input graph is not modified.
     """
     if (visit_rate is None) == (t is None):
@@ -241,30 +300,84 @@ def parallel_edge_switch(
     else:
         raise ConfigurationError(
             f"audit must be a bool or AuditConfig, got {audit!r}")
+    if backend not in ("sim", "threads", "procs"):
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; expected 'sim', 'threads' "
+            "or 'procs'")
+
+    if fault_tolerance is True:
+        ft_cfg: Optional[FTConfig] = FTConfig()
+    elif fault_tolerance is False:
+        ft_cfg = None
+    elif fault_tolerance is None:
+        # Injecting faults without the recovery layer deadlocks by
+        # design; enable it implicitly unless explicitly declined.
+        ft_cfg = FTConfig() if faults is not None else None
+    elif isinstance(fault_tolerance, FTConfig):
+        ft_cfg = fault_tolerance
+    else:
+        raise ConfigurationError(
+            f"fault_tolerance must be a bool or FTConfig, "
+            f"got {fault_tolerance!r}")
+    if ft_cfg is not None and ft_cfg.tick is None:
+        # The serve-loop tick is backend-local: simulated cost units
+        # under the discrete-event engine, seconds on real backends.
+        ft_cfg = dataclasses.replace(
+            ft_cfg, tick=50.0 if backend == "sim" else 0.05)
+
     config = ParallelSwitchConfig(
         t=t, step_size=step_size, cost=cost,
         # workers have their own memory: results must travel in reports
         collect_edges=(backend == "procs"),
         audit=audit_cfg,
+        fault_tolerance=ft_cfg,
     )
+
+    sink: Optional[CheckpointSink] = None
+    if checkpoint is not None:
+        if backend == "procs":
+            raise ConfigurationError(
+                "checkpointing needs a shared-memory sink; the procs "
+                "backend cannot offer snapshots to driver memory")
+        ckpt_cfg = (checkpoint if isinstance(checkpoint, CheckpointConfig)
+                    else CheckpointConfig(directory=str(checkpoint)))
+        sink = CheckpointSink(ckpt_cfg, num_ranks)
+
+    restore_states: Optional[List[dict]] = None
+    if resume is not None:
+        if backend == "procs":
+            raise ConfigurationError(
+                "resume is limited to the in-process backends")
+        import os as _os
+        path = resume
+        if _os.path.isdir(path):
+            found = latest_checkpoint(path)
+            if found is None:
+                raise CheckpointError(f"no checkpoint found in {path}")
+            path = found
+        restore_states = load_checkpoint(path, num_ranks)
 
     scheme_rng = RngStream(None if seed is None else seed + 1)
     partitioner = make_partitioner(scheme, graph, num_ranks, scheme_rng)
     partitions = build_partitions(graph, partitioner)
     scope = AuditScope(audit_cfg) if audit_cfg is not None else None
-    per_rank = [PerRankArgs(part, partitioner, config, scope)
-                for part in partitions]
+    per_rank = [
+        PerRankArgs(
+            part, partitioner, config, scope,
+            checkpoint_sink=sink,
+            restore_state=(restore_states[r] if restore_states is not None
+                           else None),
+            halt_after_step=halt_after_step,
+        )
+        for r, part in enumerate(partitions)
+    ]
 
     if backend == "sim":
-        cluster = SimulatedCluster(num_ranks, cost, seed=seed)
+        cluster = SimulatedCluster(num_ranks, cost, seed=seed, faults=faults)
     elif backend == "threads":
-        cluster = ThreadCluster(num_ranks, seed=seed)
-    elif backend == "procs":
-        cluster = ProcessCluster(num_ranks, seed=seed)
+        cluster = ThreadCluster(num_ranks, seed=seed, faults=faults)
     else:
-        raise ConfigurationError(
-            f"unknown backend {backend!r}; expected 'sim', 'threads' "
-            "or 'procs'")
+        cluster = ProcessCluster(num_ranks, seed=seed, faults=faults)
 
     audit_context = {"seed": seed, "scheme": partitioner.name,
                      "backend": backend, "t": t, "step_size": step_size,
@@ -288,12 +401,17 @@ def parallel_edge_switch(
         ) from exc
 
     final = SimpleGraph(graph.num_vertices)
+    crashed = set(run.trace.crashed_ranks)
     if backend == "procs":
         for report in run.values:
+            if report is None:  # a crashed rank returns nothing
+                continue
             for u, v in report.final_edge_list:
                 final.add_edge(u, v)
     else:
-        for part in partitions:
+        for rank, part in enumerate(partitions):
+            if rank in crashed:
+                continue  # a dead rank's partition dies with it
             for u, v in part.edges():
                 final.add_edge(u, v)
 
@@ -320,12 +438,17 @@ def _audit_run_checks(result: ParallelSwitchResult, graph: SimpleGraph,
     undelivered = result.run.trace.total_undelivered
     if undelivered:
         fail(f"{undelivered} message(s) left undelivered at shutdown")
-    if result.graph.num_edges != graph.num_edges:
-        fail(f"edge count not conserved: {result.graph.num_edges} != "
-             f"{graph.num_edges}")
-    if result.graph.degree_sequence() != graph.degree_sequence():
-        fail("degree sequence not conserved by the run")
-    unfulfilled = {r.unfulfilled for r in result.reports}
+    if not result.dead_ranks:
+        # A dead rank takes its partition (and any torn commit's
+        # bookkeeping) with it: edge-count and degree conservation are
+        # only claimed for crash-free runs.  Simplicity and the budget
+        # identity below hold regardless.
+        if result.graph.num_edges != graph.num_edges:
+            fail(f"edge count not conserved: {result.graph.num_edges} != "
+                 f"{graph.num_edges}")
+        if result.graph.degree_sequence() != graph.degree_sequence():
+            fail("degree sequence not conserved by the run")
+    unfulfilled = {r.unfulfilled for r in result.live_reports}
     if len(unfulfilled) > 1:
         fail(f"ranks disagree on the unfulfilled budget: "
              f"{sorted(unfulfilled)}")
@@ -333,7 +456,7 @@ def _audit_run_checks(result: ParallelSwitchResult, graph: SimpleGraph,
     if result.switches_completed + result.unfulfilled != t:
         fail(f"budget not conserved: completed {result.switches_completed} "
              f"+ unfulfilled {result.unfulfilled} != t {t}")
-    for report in result.reports:
+    for report in result.live_reports:
         done = report.switches_completed + report.forfeited
         if done != report.assigned_total:
             fail(f"rank {report.rank} budget leak: completed+forfeited "

@@ -47,7 +47,11 @@ __all__ = [
     "CommitAck",
     "DoneUp",
     "DoneAll",
+    "Frame",
+    "FrameAck",
     "NBYTES",
+    "FRAME_OVERHEAD",
+    "wire_nbytes",
 ]
 
 #: Single tag for all protocol traffic (dispatch is on payload type).
@@ -135,6 +139,28 @@ class DoneAll:
     step: int
 
 
+@dataclass(frozen=True)
+class Frame:
+    """Fault-tolerance envelope around a protocol message.
+
+    ``seq`` is the sender's per-destination frame serial; the receiver
+    acknowledges it with :class:`FrameAck` and uses ``(source, seq)``
+    for duplicate suppression.  Only used when fault tolerance is
+    enabled — the fault-free hot path sends payloads bare.
+    """
+
+    seq: int
+    payload: object
+
+
+@dataclass(frozen=True)
+class FrameAck:
+    """Receiver → sender: frame ``seq`` arrived (not itself framed or
+    acknowledged, so acks cannot recurse)."""
+
+    seq: int
+
+
 #: Approximate on-wire sizes per message type, for the cost model.
 NBYTES = {
     SwitchRequest: 40,
@@ -145,4 +171,15 @@ NBYTES = {
     CommitAck: 24,
     DoneUp: 16,
     DoneAll: 16,
+    FrameAck: 16,
 }
+
+#: Framing overhead added on top of the inner payload's size.
+FRAME_OVERHEAD = 16
+
+
+def wire_nbytes(payload: object) -> int:
+    """On-wire size estimate for a (possibly framed) protocol payload."""
+    if isinstance(payload, Frame):
+        return FRAME_OVERHEAD + wire_nbytes(payload.payload)
+    return NBYTES.get(type(payload), 64)

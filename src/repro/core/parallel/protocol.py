@@ -39,11 +39,13 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.audit.auditor import ProtocolAuditor
 from repro.core.constraints import FailureReason, SwitchKind, propose_switch
+from repro.core.parallel.ftolerance import ReliableChannel
 from repro.core.parallel.messages import (
     Abort,
     Commit,
     CommitAck,
     Conv,
+    FRAME_OVERHEAD,
     NBYTES,
     Retry,
     SwitchRequest,
@@ -78,6 +80,14 @@ class ConversationMixin:
     #: Flight recorder + invariant checker; ``None`` when auditing is
     #: off, so the hot path pays a single identity check per hook.
     audit: Optional[ProtocolAuditor]
+    #: Reliable-delivery layer; ``None`` when fault tolerance is off,
+    #: so the fault-free hot path sends payloads bare.
+    channel: Optional[ReliableChannel]
+    #: Ranks known to have failed (always a set; empty without faults).
+    dead: Set[int]
+    #: Conversations this rank forfeited on a peer's death — late
+    #: chain traffic for them is answered with aborts, not errors.
+    forfeited_convs: Set[Conv]
 
     # -- helpers -----------------------------------------------------------
 
@@ -94,11 +104,20 @@ class ConversationMixin:
             groups.setdefault(self.owner(e[0]), []).append(e)
         return groups
 
-    def _proto(self, dest: int, payload) -> Send:
+    def _proto(self, dest: int, payload):
         # Hot path: handlers yield op objects directly rather than
         # delegating through context helper generators — each avoided
         # sub-generator saves one frame per resume (profiled ~25%).
-        return Send(dest, TAG_PROTO, payload, NBYTES[type(payload)])
+        ch = self.channel
+        if ch is None:
+            return Send(dest, TAG_PROTO, payload, NBYTES[type(payload)])
+        if dest in self.dead:
+            # Conversations towards the dead are forfeited elsewhere;
+            # anything still addressed there is dropped at the source.
+            return Compute(0.0)
+        frame = ch.wrap(dest, payload)
+        return Send(dest, TAG_PROTO, frame,
+                    FRAME_OVERHEAD + NBYTES[type(payload)])
 
     def _new_conv(self) -> Conv:
         conv = (self.ctx.rank, self.serial)
@@ -146,8 +165,16 @@ class ConversationMixin:
             self.part.checkout(e1)
             partner = self.ctx.rng.choice_weighted(self.q)
             if partner != me:
+                if partner in self.dead:
+                    # All-zero weights fallback can still surface a dead
+                    # rank; treat it like any failed attempt.
+                    self.part.release(e1)
+                    self.report.bump_rejection(FailureReason.DEAD_PEER)
+                    self.consecutive_failures += 1
+                    continue
                 conv = self._new_conv()
-                self.active = InitiatorState(conv, e1, checked_out=[e1])
+                self.active = InitiatorState(conv, e1, checked_out=[e1],
+                                             partner=partner, peers=(partner,))
                 if aud is not None:
                     aud.conv_open(conv, "initiator", checked_out=1, reserved=0)
                     aud.record("initiate", conv, f"partner={partner}")
@@ -178,6 +205,12 @@ class ConversationMixin:
                 self.report.bump_rejection(FailureReason.PARALLEL)
                 self.consecutive_failures += 1
                 continue
+            if self.dead and any(r in self.dead for r in groups):
+                self.part.release(e1)
+                self.part.release(e2)
+                self.report.bump_rejection(FailureReason.DEAD_PEER)
+                self.consecutive_failures += 1
+                continue
             if not groups:
                 # Zero-message fast path: commit immediately.
                 self.part.commit_removal(e1)
@@ -202,7 +235,8 @@ class ConversationMixin:
                 self.reserved.add(e)
             conv = self._new_conv()
             self.active = InitiatorState(
-                conv, e1, e2=e2, checked_out=[e1, e2], reserved=list(mine)
+                conv, e1, e2=e2, checked_out=[e1, e2], reserved=list(mine),
+                peers=tuple(groups.keys()),
             )
             if aud is not None:
                 aud.conv_open(conv, "initiator", checked_out=2,
@@ -252,10 +286,18 @@ class ConversationMixin:
             yield self._proto(
                 source, Retry(msg.conv, FailureReason.PARALLEL.value))
             return
+        if self.dead and any(r in self.dead for r in groups):
+            self.part.release(e2)
+            if aud is not None:
+                aud.record("retry", msg.conv, "send dead_peer")
+            yield self._proto(
+                source, Retry(msg.conv, FailureReason.DEAD_PEER.value))
+            return
         for e in mine:
             self.reserved.add(e)
         self.servant[msg.conv] = ServantState(
-            msg.conv, checked_out=[e2], reserved=mine)
+            msg.conv, checked_out=[e2], reserved=mine,
+            peers=tuple(groups.keys()))
         if aud is not None:
             aud.conv_open(msg.conv, "partner", checked_out=1,
                           reserved=len(mine))
@@ -283,6 +325,27 @@ class ConversationMixin:
         groups = self._group_by_owner(proposal.add)
         mine = groups.get(me, [])
         yield Compute(self.cost.check_compute * max(1, len(mine)))
+        if self.dead:
+            involved = (set(msg.visited) | set(msg.remaining)
+                        | {msg.partner, initiator})
+            if involved & self.dead:
+                # A participant died under this conversation: abort all
+                # live state holders, tell the initiator to retry.
+                if aud is not None:
+                    aud.record("abort", msg.conv, "send dead_peer")
+                for v in msg.visited:
+                    yield self._proto(v, Abort(msg.conv))
+                if me == initiator:
+                    st = self.active
+                    if st is not None and st.conv == msg.conv:
+                        if aud is not None:
+                            aud.conv_close(msg.conv, "abort")
+                        self._initiator_release(FailureReason.DEAD_PEER)
+                elif initiator not in self.dead:
+                    yield self._proto(
+                        initiator,
+                        Retry(msg.conv, FailureReason.DEAD_PEER.value))
+                return
         if any(self._conflicts(e) for e in mine):
             if aud is not None:
                 aud.record("abort", msg.conv,
@@ -306,7 +369,9 @@ class ConversationMixin:
                 raise ProtocolError(
                     f"rank {me}: initiator must terminate the chain")
             self.servant[msg.conv] = ServantState(
-                msg.conv, checked_out=[], reserved=mine)
+                msg.conv, checked_out=[], reserved=mine,
+                peers=tuple({msg.partner, *msg.visited, *msg.remaining}
+                            - {me}))
             if aud is not None:
                 aud.conv_open(msg.conv, "owner", checked_out=0,
                               reserved=len(mine))
@@ -322,6 +387,14 @@ class ConversationMixin:
                 f"rank {me}: chain ended at non-initiator (conv {msg.conv})")
         st = self.active
         if st is None or st.conv != msg.conv:
+            if msg.conv in self.forfeited_convs:
+                # The conversation was forfeited when a peer died, but
+                # the validation chain still completed: tear it down.
+                if aud is not None:
+                    aud.record("abort", msg.conv, "send forfeited_conv")
+                for v in msg.visited:
+                    yield self._proto(v, Abort(msg.conv))
+                return
             raise ProtocolError(
                 f"rank {me}: commit for unknown conversation {msg.conv}")
         st.reserved.extend(mine)
@@ -336,12 +409,14 @@ class ConversationMixin:
         # while acknowledgements are in flight.  The outstanding-ack
         # table keeps step termination honest (_propagate_done waits
         # for it to drain before DoneUp).
-        if msg.visited:
-            self.ack_wait[msg.conv] = len(msg.visited)
+        ackers = set(msg.visited) - self.dead if self.dead \
+            else set(msg.visited)
+        if ackers:
+            self.ack_wait[msg.conv] = ackers
         if aud is not None:
             aud.record("commit", msg.conv, f"send to={list(msg.visited)}")
-            if msg.visited:
-                aud.acks_expected(msg.conv, len(msg.visited))
+            if ackers:
+                aud.acks_expected(msg.conv, len(ackers))
             aud.conv_close(msg.conv, "commit")
         self.report.bump_span(len(msg.visited) + 1)
         self._complete_active()
@@ -351,6 +426,13 @@ class ConversationMixin:
         everything and fall back to the initiation loop."""
         st = self.active
         if st is None or st.conv != msg.conv:
+            if self.channel is not None:
+                # Fault tolerance: a forfeited or already-resolved
+                # conversation can still receive late Retries (several
+                # servants report the same dead peer).
+                if self.audit is not None:
+                    self.audit.record("retry", msg.conv, "recv stale ignored")
+                return
             raise ProtocolError(
                 f"rank {self.ctx.rank}: Retry for unknown conversation "
                 f"{msg.conv}")
@@ -366,6 +448,12 @@ class ConversationMixin:
         reservations."""
         st = self.servant.pop(msg.conv, None)
         if st is None:
+            if self.channel is not None:
+                # State already dropped (peer death cleanup raced the
+                # abort) — nothing left to undo.
+                if self.audit is not None:
+                    self.audit.record("abort", msg.conv, "recv stale ignored")
+                return
             raise ProtocolError(
                 f"rank {self.ctx.rank}: Abort for unknown conversation "
                 f"{msg.conv}")
@@ -382,6 +470,17 @@ class ConversationMixin:
         """Servant role: apply my share of the switch and acknowledge."""
         st = self.servant.pop(msg.conv, None)
         if st is None:
+            if self.channel is not None:
+                # Torn commit: our state went down with a dead peer but
+                # the initiator committed before learning of the death.
+                # Acknowledge anyway so its ack table drains — the
+                # switch is accepted as torn (simplicity still holds;
+                # degree conservation is knowingly given up on death).
+                if self.audit is not None:
+                    self.audit.record("commit", msg.conv,
+                                      "recv unknown ack_anyway")
+                yield self._proto(msg.conv[0], CommitAck(msg.conv))
+                return
             raise ProtocolError(
                 f"rank {self.ctx.rank}: Commit for unknown conversation "
                 f"{msg.conv}")
@@ -396,17 +495,23 @@ class ConversationMixin:
 
     def handle_commit_ack(self, source: int, msg: CommitAck):
         """Initiator role: drain the outstanding-ack table."""
-        left = self.ack_wait.get(msg.conv)
-        if left is None:
+        waiting = self.ack_wait.get(msg.conv)
+        if waiting is None or source not in waiting:
+            if self.channel is not None:
+                # A torn-commit ack-anyway, or the acker's death already
+                # forgave this debt — either way there is nothing owed.
+                if self.audit is not None:
+                    self.audit.record("commit_ack", msg.conv,
+                                      "recv stale ignored")
+                return
             raise ProtocolError(
                 f"rank {self.ctx.rank}: CommitAck for unknown conversation "
                 f"{msg.conv}")
         if self.audit is not None:
             self.audit.ack_received(msg.conv)
-        if left == 1:
+        waiting.discard(source)
+        if not waiting:
             del self.ack_wait[msg.conv]
-        else:
-            self.ack_wait[msg.conv] = left - 1
         return
         yield  # pragma: no cover
 

@@ -17,30 +17,60 @@ Forfeits: a rank whose edge pool empties mid-step (its edges migrated
 away) cannot fulfil its remaining quota; the shortfall is added back to
 the global budget for subsequent steps, so the total operation count is
 preserved.
+
+Fault tolerance (``ParallelSwitchConfig.fault_tolerance``) changes the
+serve loop in three ways, all dormant when the feature is off:
+
+* every protocol payload travels framed through a
+  :class:`~repro.core.parallel.ftolerance.ReliableChannel` — the serve
+  loop uses a *timed* receive and retransmits unacked frames on expiry;
+* rank deaths (backend obituaries, or ``None`` slots in the step
+  allgather) trigger :meth:`SwitchRank._on_rank_dead`: in-flight
+  conversations with the dead rank are forfeited, its acks forgiven,
+  its budget share re-budgeted at the next barrier;
+* the binomial termination tree is replaced by a *flat* scheme rooted
+  at the lowest live rank (a tree cannot survive the death of an inner
+  node): everyone sends DoneUp to the live root, the root broadcasts
+  DoneAll, and every DoneAll receiver re-floods it so the broadcast
+  survives even the root dying halfway through it.
+
+Checkpoint/restart: at a step boundary the protocol is quiescent (no
+messages in flight, no open conversations), so
+``PerRankArgs.checkpoint_sink`` snapshots exactly the partition, visit
+tracker, RNG position and budget counters; ``restore_state`` replays a
+snapshot before the initial allgather and the resumed run continues
+bit-identically on the discrete-event backend.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import pickle
+from typing import List, Optional, Set, Tuple
 
 from repro.audit.auditor import ProtocolAuditor
+from repro.core.constraints import FailureReason
+from repro.core.parallel.ftolerance import ReliableChannel
 from repro.core.parallel.messages import (
     Abort,
     Commit,
     CommitAck,
     DoneAll,
     DoneUp,
+    Frame,
+    FrameAck,
     NBYTES,
     Retry,
     SwitchRequest,
     TAG_PROTO,
     Validate,
+    wire_nbytes,
 )
 from repro.core.parallel.protocol import ConversationMixin
 from repro.core.parallel.state import InitiatorState, RankReport, ServantState
 from repro.core.visit_rate import VisitTracker
 from repro.errors import ProtocolError
 from repro.mpsim.context import RankContext
+from repro.mpsim.faults import TAG_OBITUARY
 from repro.mpsim.ops import Probe, Recv, Send
 from repro.rvgen.parallel_multinomial import distribute_switch_counts
 
@@ -54,6 +84,10 @@ _HANDLERS = {
     Commit: "handle_commit",
     CommitAck: "handle_commit_ack",
 }
+
+#: Fallback serve-loop tick when the driver did not resolve one (only
+#: reachable when a rank program is built by hand); wall-clock seconds.
+_DEFAULT_TICK = 0.05
 
 
 class SwitchRank(ConversationMixin):
@@ -79,6 +113,26 @@ class SwitchRank(ConversationMixin):
                 scope.register(ctx.rank, self.audit.recorder)
         else:
             self.audit = None
+        # fault tolerance (off by default: channel stays None, the set
+        # checks below cost one falsy test each on the hot path)
+        ft = getattr(self.config, "fault_tolerance", None)
+        self.ftcfg = ft
+        if ft is not None:
+            self.channel = ReliableChannel(ctx.rank, ft)
+            self.ft_tick = ft.tick if ft.tick is not None else _DEFAULT_TICK
+        else:
+            self.channel = None
+            self.ft_tick = None
+        self.dead: Set[int] = set()
+        self.forfeited_convs = set()
+        self.completed_total = [0] * ctx.size
+        self._accounted_dead: Set[int] = set()
+        self.done_from: Set[int] = set()
+        self._done_sent_to: Optional[int] = None
+        # checkpoint/restart (in-process backends only; see driver)
+        self.checkpoint_sink = getattr(args, "checkpoint_sink", None)
+        self.restore_state = getattr(args, "restore_state", None)
+        self.halt_after_step = getattr(args, "halt_after_step", None)
         # conversation state (ConversationMixin contract)
         self.reserved = set()
         self.servant = {}
@@ -91,7 +145,9 @@ class SwitchRank(ConversationMixin):
         self.quota = 0
         self.step_forfeited = 0
         self.step_index = 0
-        # termination tree (binary, rooted at 0)
+        self._step_completed_base = 0
+        # termination tree (binary, rooted at 0; fault tolerance swaps
+        # in the flat live-root scheme instead)
         me = ctx.rank
         self.parent = (me - 1) // 2 if me > 0 else -1
         self.children = [c for c in (2 * me + 1, 2 * me + 2) if c < ctx.size]
@@ -104,15 +160,27 @@ class SwitchRank(ConversationMixin):
     def main(self):
         """The rank program (generator)."""
         cfg = self.config
-        self.report.initial_edges = self.part.num_edges
-        self.report.initial_count = self.tracker.initial_count
+        if self.restore_state is not None:
+            remaining = self._restore(self.restore_state)
+            if self.audit is not None:
+                self.audit.record(
+                    "checkpoint", note=f"restored step={self.step_index}")
+        else:
+            remaining = cfg.t
+            self.report.initial_edges = self.part.num_edges
+            self.report.initial_count = self.tracker.initial_count
 
         counts = yield from self.ctx.allgather(self.part.num_edges, nbytes=8)
+        if self.channel is not None and any(c is None for c in counts):
+            # A rank died before the run even started.
+            for r, c in enumerate(counts):
+                if c is None and r not in self.dead:
+                    yield from self._on_rank_dead(r)
+        counts = [c if c is not None else 0 for c in counts]
         self.q = _normalise(counts)
         if self.audit is not None:
             self.audit.begin_run(sum(counts))
 
-        remaining = cfg.t
         max_steps = cfg.max_steps_factor * _ceil_div(cfg.t, cfg.step_size) + 8
         while remaining > 0 and self.step_index < max_steps:
             step_quota = min(cfg.step_size, remaining)
@@ -122,18 +190,34 @@ class SwitchRank(ConversationMixin):
             if self.audit is not None:
                 self.audit.begin_step(self.step_index, assigned, self.report)
             yield from self._run_step(assigned)
-            pairs = yield from self.ctx.allgather(
-                (self.part.num_edges, self.step_forfeited), nbytes=16)
-            counts = [c for c, _ in pairs]
-            forfeited = sum(f for _, f in pairs)
+            if self.channel is None:
+                pairs = yield from self.ctx.allgather(
+                    (self.part.num_edges, self.step_forfeited), nbytes=16)
+                counts = [c for c, _ in pairs]
+                forfeited = sum(f for _, f in pairs)
+                remaining -= step_quota - forfeited
+                stop = forfeited == step_quota and step_quota > 0
+            else:
+                remaining, counts, stop = yield from self._ft_step_barrier(
+                    remaining, step_quota)
             if self.audit is not None:
                 self.audit.end_step(self.step_index, self, sum(counts))
             self.report.edge_trajectory.append(self.part.num_edges)
             self.q = _normalise(counts)
-            remaining -= step_quota - forfeited
             self.step_index += 1
             self.report.steps = self.step_index
-            if forfeited == step_quota and step_quota > 0:
+            sink = self.checkpoint_sink
+            if sink is not None and sink.wants(self.step_index):
+                blob = pickle.dumps(self._snapshot(remaining))
+                sink.offer(self.ctx.rank, self.step_index, blob)
+                if self.audit is not None:
+                    self.audit.record(
+                        "checkpoint",
+                        note=f"step={self.step_index} bytes={len(blob)}")
+            if (self.halt_after_step is not None
+                    and self.step_index >= self.halt_after_step):
+                break  # deterministic kill point for restart testing
+            if stop:
                 break  # nobody can make progress; stop rather than spin
 
         # Exiting with remaining > 0 (the step guard or an all-forfeit
@@ -144,6 +228,8 @@ class SwitchRank(ConversationMixin):
         self.report.final_edges = self.part.num_edges
         if cfg.collect_edges:
             self.report.final_edge_list = list(self.part.edges())
+        if self.channel is not None:
+            yield from self._drain_mailbox()
         self._verify_quiescent()
         if self.audit is not None:
             self.report.audit_events = list(self.audit.recorder.tail())
@@ -154,39 +240,83 @@ class SwitchRank(ConversationMixin):
     def _run_step(self, assigned: int):
         self.quota = assigned
         self.step_forfeited = 0
+        self._step_completed_base = self.report.switches_completed
         self.children_done = 0
         self.done_up_sent = False
         self.done_all = False
+        self.done_from.clear()
+        self._done_sent_to = None
 
+        ft = self.channel is not None
         while True:
             yield from self._propagate_done()
             if self.done_all:
                 break
             if self.quota > 0 and self.active is None:
-                pending = yield Probe(tag=TAG_PROTO)
+                # Fault tolerance must probe wildcard: obituaries travel
+                # under their own (negative) tag.
+                pending = yield (Probe() if ft else Probe(tag=TAG_PROTO))
                 if not pending:
                     # try_initiate returns when a conversation goes
                     # remote, the quota is exhausted/forfeited, or an
                     # incoming message demands service.
                     yield from self.try_initiate()
                     continue
-            msg = yield Recv(tag=TAG_PROTO)
+            if ft:
+                msg = yield Recv(timeout=self.ft_tick)
+                if msg is None:
+                    yield from self._ft_tick()
+                    continue
+            else:
+                msg = yield Recv(tag=TAG_PROTO)
             yield from self._dispatch(msg)
+        if ft:
+            yield from self._ft_finish_step()
 
     def _dispatch(self, msg):
         payload = msg.payload
+        if msg.tag == TAG_OBITUARY:
+            yield from self._on_rank_dead(payload.rank)
+            return
+        ch = self.channel
+        if ch is not None:
+            if msg.source in self.dead:
+                return  # late traffic from a dead rank
+            kind = type(payload)
+            if kind is FrameAck:
+                ch.on_ack(msg.source, payload)
+                return
+            if kind is Frame:
+                # Ack every copy — the sender may have missed earlier
+                # acks — then dedup before dispatching.
+                yield Send(msg.source, TAG_PROTO, FrameAck(payload.seq),
+                           NBYTES[FrameAck])
+                payload = ch.accept(msg.source, payload)
+                if payload is None:
+                    if self.audit is not None:
+                        self.audit.record(
+                            "dup_drop", note=f"from={msg.source}")
+                    return
         kind = type(payload)
         if kind is DoneUp:
-            self._check_step(payload.step)
-            self.children_done += 1
+            if not self._check_step(payload.step):
+                return
+            if ch is not None:
+                self.done_from.add(msg.source)
+            else:
+                self.children_done += 1
             return
         if kind is DoneAll:
-            self._check_step(payload.step)
+            if not self._check_step(payload.step):
+                return
             if self.audit is not None:
                 self.audit.record("done_all", note=f"from={msg.source}")
-            for child in self.children:
-                yield Send(child, TAG_PROTO, DoneAll(self.step_index),
-                           NBYTES[DoneAll])
+            if ch is None:
+                for child in self.children:
+                    yield Send(child, TAG_PROTO, DoneAll(self.step_index),
+                               NBYTES[DoneAll])
+            else:
+                yield from self._ft_flood_done()
             self.done_all = True
             return
         handler = _HANDLERS.get(kind)
@@ -195,11 +325,19 @@ class SwitchRank(ConversationMixin):
                 f"rank {self.ctx.rank}: unexpected payload {payload!r}")
         yield from getattr(self, handler)(msg.source, payload)
 
-    def _check_step(self, step: int) -> None:
-        if step != self.step_index:
-            raise ProtocolError(
-                f"rank {self.ctx.rank}: termination message for step "
-                f"{step} during step {self.step_index}")
+    def _check_step(self, step: int) -> bool:
+        if step == self.step_index:
+            return True
+        if self.channel is not None and step < self.step_index:
+            # A delayed retransmission of an older step's termination
+            # message; delivery once per step is dedup-guaranteed, so
+            # stale copies are noise.
+            if self.audit is not None:
+                self.audit.record("dup_drop", note=f"stale_done step={step}")
+            return False
+        raise ProtocolError(
+            f"rank {self.ctx.rank}: termination message for step "
+            f"{step} during step {self.step_index}")
 
     def _propagate_done(self):
         """Send DoneUp/DoneAll when this subtree has fully finished.
@@ -215,6 +353,9 @@ class SwitchRank(ConversationMixin):
         step (and, on the last step, past the run).  So by the time the
         root has heard from the whole tree there is no switch traffic
         left in flight anywhere."""
+        if self.channel is not None:
+            yield from self._ft_propagate_done()
+            return
         if self.done_up_sent:
             return
         if self.quota > 0 or self.active is not None or self.ack_wait:
@@ -239,6 +380,250 @@ class SwitchRank(ConversationMixin):
                 self.audit.record("done_up", note=f"to={self.parent}")
             yield Send(self.parent, TAG_PROTO, DoneUp(self.step_index),
                        NBYTES[DoneUp])
+
+    # -- fault tolerance -------------------------------------------------
+
+    def _ft_tick(self):
+        """The timed receive expired: retransmit whatever is due."""
+        for dest, frame in self.channel.on_tick():
+            if dest in self.dead:
+                continue
+            if self.audit is not None:
+                self.audit.record(
+                    "retransmit", note=f"to={dest} seq={frame.seq}")
+            yield Send(dest, TAG_PROTO, frame, wire_nbytes(frame))
+
+    def _on_rank_dead(self, d: int):
+        """A peer fail-stopped: forfeit everything shared with it."""
+        if d in self.dead:
+            return
+        self.dead.add(d)
+        aud = self.audit
+        if aud is not None:
+            aud.record("rank_dead", note=f"rank={d}")
+        if self.channel is not None:
+            self.channel.cancel_dest(d)
+        if d < len(self.q):
+            self.q[d] = 0.0  # never pick the dead as a partner again
+        # My own in-flight conversation involved the dead rank: forfeit
+        # it (the operation is retried with a fresh pair).
+        st = self.active
+        if st is not None and (st.partner == d or d in st.peers):
+            self.forfeited_convs.add(st.conv)
+            if aud is not None:
+                aud.conv_close(st.conv, "forfeit")
+            self._initiator_release(FailureReason.DEAD_PEER)
+            self.consecutive_failures += 1
+        # Servant state for conversations the dead rank participated
+        # in: drop it, undo checkouts/reservations, and release the
+        # (live) initiator with a Retry so it does not wait forever.
+        doomed = [c for c, s in self.servant.items()
+                  if c[0] == d or d in s.peers]
+        for conv in doomed:
+            sst = self.servant.pop(conv)
+            for e in sst.checked_out:
+                self.part.release(e)
+            for e in sst.reserved:
+                self.reserved.discard(e)
+            if aud is not None:
+                aud.conv_close(conv, "forfeit")
+            if conv[0] != d and conv[0] not in self.dead:
+                yield self._proto(
+                    conv[0], Retry(conv, FailureReason.DEAD_PEER.value))
+        # Acks owed by the dead are forgiven, not paid.
+        for conv in list(self.ack_wait):
+            waiting = self.ack_wait[conv]
+            if d in waiting:
+                waiting.discard(d)
+                if aud is not None:
+                    aud.ack_cancelled(conv, d)
+                if not waiting:
+                    del self.ack_wait[conv]
+        # Termination bookkeeping: a dead rank's DoneUp no longer
+        # counts, and the live root may have changed (DoneUp is re-sent
+        # by _ft_propagate_done when it did).
+        self.done_from.discard(d)
+
+    def _ft_propagate_done(self):
+        """Flat termination over the live ranks, rooted at min(live).
+
+        Beyond the fault-free done-gating (quota, active conversation,
+        commit acks, servant state), a rank must also have an *empty
+        retransmit table*: receivers acknowledge frames at dispatch
+        time, so an unacked frame means some peer has not yet processed
+        a message we sent — e.g. an Abort whose first copy was dropped.
+        Declaring done before it is acked would let DoneAll overtake
+        the retransmission and leak servant state past the step."""
+        if self.done_all or self.quota > 0 or self.active is not None \
+                or self.ack_wait or self.servant or self.channel.pending:
+            return
+        me = self.ctx.rank
+        live_root = min(r for r in range(self.ctx.size)
+                        if r not in self.dead)
+        if me == live_root:
+            others = {r for r in range(self.ctx.size)
+                      if r != me and r not in self.dead}
+            if others <= self.done_from:
+                if self.audit is not None:
+                    self.audit.record("done_all", note="root broadcast")
+                for r in sorted(others):
+                    yield self._proto(r, DoneAll(self.step_index))
+                self.done_all = True
+        elif self._done_sent_to != live_root:
+            if self.audit is not None:
+                self.audit.record("done_up", note=f"to={live_root}")
+            yield self._proto(live_root, DoneUp(self.step_index))
+            self._done_sent_to = live_root
+            self.done_up_sent = True
+
+    def _ft_flood_done(self):
+        """Re-broadcast a received DoneAll to every live rank.  If the
+        root dies halfway through its broadcast, any rank that heard it
+        re-spreads it, so no survivor waits forever; duplicate floods
+        are suppressed by frame dedup at the receivers."""
+        for r in range(self.ctx.size):
+            if r != self.ctx.rank and r not in self.dead:
+                yield self._proto(r, DoneAll(self.step_index))
+
+    def _ft_finish_step(self):
+        """Drain the channel before the step barrier: keep serving acks
+        and late frames until nothing this rank sent is outstanding.
+        Bounded: once the window closes, whatever is still unacked is
+        dropped — done-gating proves its payload already arrived (only
+        acks can be missing at this point), or it is a DoneAll flood
+        copy covered by the other flooders."""
+        ch = self.channel
+        cfg = self.ftcfg
+        limit = ch.ticks + cfg.retransmit_after * (cfg.max_retries + 2)
+        while ch.pending and ch.ticks < limit:
+            msg = yield Recv(timeout=self.ft_tick)
+            if msg is None:
+                yield from self._ft_tick()
+                continue
+            if msg.tag == TAG_OBITUARY:
+                yield from self._on_rank_dead(msg.payload.rank)
+                continue
+            if msg.source in self.dead:
+                continue
+            payload = msg.payload
+            if type(payload) is FrameAck:
+                ch.on_ack(msg.source, payload)
+                continue
+            if type(payload) is Frame:
+                yield Send(msg.source, TAG_PROTO, FrameAck(payload.seq),
+                           NBYTES[FrameAck])
+                inner = ch.accept(msg.source, payload)
+                if inner is not None and type(inner) is DoneUp:
+                    # A rank re-routed its DoneUp here after a root
+                    # change; count it in case we are the new root.
+                    self.done_from.add(msg.source)
+                # Anything else new can only be termination noise —
+                # every protocol payload was delivered before DoneAll
+                # existed (done-gating) — so it is consumed here.
+        dropped = ch.clear_pending()
+        if dropped and self.audit is not None:
+            self.audit.record("drain", note=f"unacked_cleared={dropped}")
+
+    def _ft_step_barrier(self, remaining: int, step_quota: int):
+        """The fault-tolerant step allgather and budget accounting.
+
+        Every live rank contributes ``(|E_i|, forfeited, completed)``;
+        dead slots come back ``None`` (backend death consensus — every
+        survivor sees the same set).  ``remaining`` shrinks by the sum
+        of live completions — provably identical to the fault-free
+        ``step_quota - forfeited`` rule while everyone is alive — and a
+        newly-dead rank's lifetime completions are re-budgeted, keeping
+        ``t == Σ_survivor completed + unfulfilled`` exact."""
+        step_completed = (self.report.switches_completed
+                          - self._step_completed_base)
+        triples = yield from self.ctx.allgather(
+            (self.part.num_edges, self.step_forfeited, step_completed),
+            nbytes=24)
+        counts: List[int] = []
+        completed_this = 0
+        for r, item in enumerate(triples):
+            if item is None:
+                counts.append(0)
+                if r not in self.dead:
+                    yield from self._on_rank_dead(r)
+                continue
+            counts.append(item[0])
+            completed_this += item[2]
+            self.completed_total[r] += item[2]
+        remaining -= completed_this
+        new_dead = sorted(self.dead - self._accounted_dead)
+        for d in new_dead:
+            self._accounted_dead.add(d)
+            remaining += self.completed_total[d]
+            if self.audit is not None:
+                self.audit.record(
+                    "rank_dead",
+                    note=f"rebudget rank={d} n={self.completed_total[d]}")
+        if new_dead and self.audit is not None:
+            # The dead partitions' edges left the global total (and a
+            # torn commit may have shifted survivor counts): move the
+            # conservation baseline.
+            self.audit.rebase_edges(
+                sum(counts), note=f"dead={sorted(self.dead)}")
+        stop = completed_this == 0 and step_quota > 0
+        return remaining, counts, stop
+
+    def _drain_mailbox(self):
+        """Consume leftover retransmissions after the final barrier so
+        no message counts as undelivered at shutdown."""
+        drained = 0
+        while True:
+            msg = yield Recv(timeout=self.ft_tick)
+            if msg is None:
+                break
+            drained += 1
+        if drained and self.audit is not None:
+            self.audit.record("drain", note=f"n={drained}")
+
+    # -- checkpoint/restart ----------------------------------------------
+
+    def _snapshot(self, remaining: int) -> dict:
+        """Step-boundary state capture; quiescence (verified by the
+        auditor) means no mailbox or conversation state exists."""
+        part = self.part
+        return {
+            "adj": part._adj,
+            "edges": part._edges,
+            "index": part._index,
+            "checked": part._checked,
+            "tracker_remaining": self.tracker._remaining,
+            "tracker_initial": self.tracker._initial_count,
+            "rng": self.ctx.rng.get_state(),
+            "serial": self.serial,
+            "consecutive_failures": self.consecutive_failures,
+            "report": self.report,
+            "remaining": remaining,
+            "step_index": self.step_index,
+            "completed_total": self.completed_total,
+        }
+
+    def _restore(self, state: dict) -> int:
+        """Restore a :meth:`_snapshot`; returns the remaining budget.
+
+        The partition is restored *in place*: the driver holds
+        references to the partition objects for final reassembly."""
+        part = self.part
+        part._adj.clear()
+        part._adj.update(state["adj"])
+        part._edges[:] = state["edges"]
+        part._index.clear()
+        part._index.update(state["index"])
+        part._checked.clear()
+        part._checked.update(state["checked"])
+        self.tracker._remaining = set(state["tracker_remaining"])
+        self.tracker._initial_count = state["tracker_initial"]
+        self.ctx.rng.set_state(state["rng"])
+        self.serial = state["serial"]
+        self.consecutive_failures = state["consecutive_failures"]
+        self.report = state["report"]
+        self.step_index = state["step_index"]
+        self.completed_total = list(state["completed_total"])
+        return state["remaining"]
 
     # -- invariants ------------------------------------------------------------
 

@@ -26,6 +26,11 @@ class InitiatorState:
     checked_out: List[Edge] = field(default_factory=list)
     #: Replacement edges this rank reserved (to add at commit).
     reserved: List[Edge] = field(default_factory=list)
+    #: Remote partner rank, when there is one (fault tolerance: the
+    #: conversation is forfeited if this rank dies).
+    partner: Optional[int] = None
+    #: Every other rank known to participate (fault tolerance).
+    peers: Tuple[int, ...] = ()
 
 
 @dataclass
@@ -38,6 +43,9 @@ class ServantState:
     checked_out: List[Edge] = field(default_factory=list)
     #: Replacement edges reserved here, added at commit.
     reserved: List[Edge] = field(default_factory=list)
+    #: Every other participating rank this servant knows of (fault
+    #: tolerance: state is dropped if any of them dies).
+    peers: Tuple[int, ...] = ()
 
 
 @dataclass

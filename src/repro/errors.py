@@ -18,6 +18,8 @@ __all__ = [
     "ProtocolAuditError",
     "SimulationError",
     "DeadlockError",
+    "WorkerError",
+    "CheckpointError",
     "DistributionError",
     "ConfigurationError",
 ]
@@ -91,6 +93,32 @@ class SimulationError(ReproError):
 
 class DeadlockError(SimulationError):
     """All simulated ranks are blocked and no event can make progress."""
+
+
+class WorkerError(SimulationError):
+    """A worker process of the real-processes backend raised.
+
+    The child's formatted traceback travels over the wire and is kept
+    on ``remote_traceback`` (and embedded in the message), so the
+    parent-side stack trace shows *where in the rank program* the child
+    failed, not just that it failed.
+    """
+
+    def __init__(self, message, *, rank=None, exc_type=None,
+                 remote_traceback=""):
+        self.rank = rank
+        self.exc_type = exc_type
+        self.remote_traceback = remote_traceback
+        if remote_traceback:
+            message = (f"{message}\n"
+                       f"--- remote traceback (rank {rank}) ---\n"
+                       f"{remote_traceback.rstrip()}")
+        super().__init__(message)
+
+
+class CheckpointError(SimulationError):
+    """A checkpoint could not be written, or a resume file is missing,
+    corrupt, or inconsistent with the run's configuration."""
 
 
 class DistributionError(ReproError):

@@ -16,6 +16,7 @@ from repro.errors import SimulationError
 from repro.mpsim.context import RankContext, RankProgram
 from repro.mpsim.costmodel import CostModel
 from repro.mpsim.engine import SimulationEngine
+from repro.mpsim.faults import FaultPlan, build_injectors
 from repro.mpsim.trace import ClusterTrace, RankTrace
 from repro.util.rng import spawn_streams
 
@@ -59,6 +60,7 @@ class SimulatedCluster:
         cost_model: Optional[CostModel] = None,
         seed: Optional[int] = None,
         max_events: int = 500_000_000,
+        faults: Optional[FaultPlan] = None,
     ):
         if num_ranks < 1:
             raise SimulationError(f"need at least 1 rank, got {num_ranks}")
@@ -66,6 +68,9 @@ class SimulatedCluster:
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.seed = seed
         self.max_events = max_events
+        #: Deterministic fault plan (``None`` = fault-free, zero
+        #: overhead: the engine skips the injection hook entirely).
+        self.faults = faults
 
     def run(
         self,
@@ -90,6 +95,8 @@ class SimulatedCluster:
             rank_args = per_rank_args[rank] if per_rank_args is not None else args
             ctx = RankContext(rank, self.num_ranks, streams[rank], rank_args)
             gens.append(program(ctx))
-        engine = SimulationEngine(gens, self.cost_model, self.max_events)
+        engine = SimulationEngine(
+            gens, self.cost_model, self.max_events,
+            injectors=build_injectors(self.faults, self.num_ranks))
         sim_time = engine.run()
         return RunResult(sim_time, engine.values(), ClusterTrace(engine.traces()))

@@ -58,9 +58,15 @@ class RankContext:
         """Buffered asynchronous send (generator; use ``yield from``)."""
         yield Send(dest, tag, payload, nbytes)
 
-    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
-        """Blocking receive; returns the :class:`Message`."""
-        msg = yield Recv(source, tag)
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             timeout: Optional[float] = None):
+        """Blocking receive; returns the :class:`Message`.
+
+        With ``timeout`` set, returns ``None`` if no matching message
+        arrives within the (backend-local) bound — see
+        :class:`~repro.mpsim.ops.Recv`.
+        """
+        msg = yield Recv(source, tag, timeout)
         return msg
 
     def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):

@@ -17,11 +17,12 @@ spawned streams — the same master seed always yields the same trace.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
 
 from repro.errors import DeadlockError, SimulationError
 from repro.mpsim.context import RankContext, reduce_values
 from repro.mpsim.costmodel import CostModel
+from repro.mpsim.faults import RankFaultInjector, RankObituary, TAG_OBITUARY
 from repro.mpsim.ops import (
     Collective,
     Compute,
@@ -49,8 +50,8 @@ class _RankState:
 
     __slots__ = (
         "rid", "gen", "clock", "status", "mailbox", "want_source",
-        "want_tag", "block_clock", "token", "coll_seq", "resume_value",
-        "pending_op", "value", "trace",
+        "want_tag", "block_clock", "deadline", "token", "coll_seq",
+        "resume_value", "pending_op", "value", "trace",
     )
 
     def __init__(self, rid: int, gen: Generator):
@@ -62,6 +63,8 @@ class _RankState:
         self.want_source = 0
         self.want_tag = 0
         self.block_clock = 0.0
+        #: Virtual time at which a timed Recv gives up (None = forever).
+        self.deadline: Optional[float] = None
         self.token = 0
         self.coll_seq = 0
         self.resume_value: Any = None
@@ -78,6 +81,7 @@ class SimulationEngine:
         generators: List[Generator],
         cost_model: CostModel,
         max_events: int = 500_000_000,
+        injectors: Optional[List[RankFaultInjector]] = None,
     ):
         self.p = len(generators)
         if self.p < 1:
@@ -89,6 +93,11 @@ class SimulationEngine:
         self._fifo_last: Dict[Tuple[int, int], float] = {}
         self._coll_slots: Dict[int, Dict[int, Tuple[Collective, float]]] = {}
         self._finished = 0
+        if injectors is not None and len(injectors) != self.p:
+            raise SimulationError(
+                f"{len(injectors)} fault injectors for {self.p} ranks")
+        self.injectors = injectors
+        self.dead: Set[int] = set()
 
     # -- public ---------------------------------------------------------
 
@@ -121,7 +130,19 @@ class SimulationEngine:
                     f"rank {rid}: unexpected event while blocked on a collective"
                 )
         for st in self.ranks:
-            st.trace.undelivered = len(st.mailbox)
+            if st.trace.crashed:
+                # A dead rank's leftovers are casualties, not protocol
+                # leaks; obituaries are backend-generated, not protocol
+                # traffic, so they do not count either.
+                st.trace.dead_letters += len(st.mailbox)
+                st.trace.undelivered = 0
+            else:
+                st.trace.undelivered = sum(
+                    1 for m in st.mailbox if m.tag != TAG_OBITUARY)
+        if self.injectors is not None:
+            for st, inj in zip(self.ranks, self.injectors):
+                st.trace.faults_injected = len(inj.events)
+                st.trace.fault_events = list(inj.events)
         return max(st.trace.finish_time for st in self.ranks)
 
     def values(self) -> List[Any]:
@@ -157,6 +178,7 @@ class SimulationEngine:
     def _advance(self, state: _RankState, t_pop: float) -> None:
         """Drive ``state``'s generator until it blocks, defers, or ends."""
         cm = self.cm
+        inj = self.injectors[state.rid] if self.injectors is not None else None
         value = state.resume_value
         state.resume_value = None
         op = state.pending_op
@@ -166,6 +188,12 @@ class SimulationEngine:
                 try:
                     op = state.gen.send(value)
                 except StopIteration as stop:
+                    if inj is not None:
+                        # A message still held by the "network" when
+                        # its sender exits is lost, not delivered: the
+                        # receivers may already be gone, and a reliable
+                        # sender has long since retransmitted it.
+                        state.trace.dead_letters += len(inj.flush())
                     state.status = _DONE
                     state.value = stop.value
                     state.trace.finish_time = state.clock
@@ -176,6 +204,16 @@ class SimulationEngine:
                     self._finished += 1
                     raise
                 value = None
+                if inj is not None:
+                    # Fault hook fires once per freshly yielded op (ops
+                    # re-examined after a block are not re-counted).
+                    action = inj.on_op(op)
+                    if action == "crash":
+                        self._crash(state)
+                        return
+                    if action == "stall":
+                        state.clock += inj.plan.stall_cost
+                        state.trace.record_compute(inj.plan.stall_cost)
             kind = type(op)
             if kind is Compute:
                 state.clock += op.cost
@@ -183,7 +221,11 @@ class SimulationEngine:
                 op = None
                 continue
             if kind is Send:
-                self._do_send(state, op)
+                if inj is not None:
+                    for real in inj.on_send(op):
+                        self._do_send(state, real)
+                else:
+                    self._do_send(state, op)
                 op = None
                 continue
             # Synchronising ops must resolve at the global minimum time.
@@ -214,6 +256,11 @@ class SimulationEngine:
             )
         cm = self.cm
         state.clock += cm.send_overhead
+        state.trace.record_compute(cm.send_overhead)
+        if op.dest in self.dead:
+            # Dead letter: charged to the sender, never delivered.
+            state.trace.dead_letters += 1
+            return
         arrival = state.clock + cm.wire_time(op.nbytes)
         chan = (state.rid, op.dest)
         last = self._fifo_last.get(chan)
@@ -224,10 +271,13 @@ class SimulationEngine:
         dest = self.ranks[op.dest]
         dest.mailbox.append(msg)
         state.trace.record_send(op.nbytes)
-        state.trace.record_compute(cm.send_overhead)
         if dest.status == _BLOCKED_RECV and msg.matches(dest.want_source, dest.want_tag):
             wake = max(dest.block_clock, arrival)
-            self._push(dest, wake)
+            if dest.deadline is None or wake <= dest.deadline:
+                self._push(dest, wake)
+            # else: the receive's deadline event is still the valid
+            # token and fires first — the receive times out before
+            # this message arrives.
 
     def _probe_now(self, state: _RankState, op: Probe) -> bool:
         now = state.clock
@@ -263,8 +313,13 @@ class SimulationEngine:
         state.want_source = op.source
         state.want_tag = op.tag
         state.block_clock = now
-        if earliest_future is not None:
-            self._push(state, earliest_future)
+        state.deadline = None if op.timeout is None else now + op.timeout
+        wake = earliest_future
+        if state.deadline is not None and (wake is None
+                                           or state.deadline < wake):
+            wake = state.deadline
+        if wake is not None:
+            self._push(state, wake)
         return False
 
     def _complete_recv(self, state: _RankState, time: float) -> None:
@@ -279,6 +334,15 @@ class SimulationEngine:
                 best_arrival = msg.arrival
                 best_idx = idx
         if best_idx < 0:
+            if (state.deadline is not None
+                    and time >= state.deadline - _FIFO_EPS):
+                # Timed receive expired with nothing matching: resume
+                # the rank with None at the deadline.
+                state.clock = max(state.block_clock, state.deadline)
+                state.status = _READY
+                state.deadline = None
+                state.resume_value = None
+                return
             # The message this wake announced was consumed is impossible
             # (only this rank consumes its mailbox); treat as fault.
             raise SimulationError(
@@ -287,6 +351,7 @@ class SimulationEngine:
         msg = state.mailbox.pop(best_idx)
         state.clock = max(state.block_clock, msg.arrival) + self.cm.recv_overhead
         state.status = _READY
+        state.deadline = None
         state.trace.record_recv()
         state.trace.record_compute(self.cm.recv_overhead)
         state.resume_value = msg
@@ -311,27 +376,67 @@ class SimulationEngine:
         slot[state.rid] = (op, state.clock)
         state.status = _BLOCKED_COLL
         state.trace.record_collective()
-        if len(slot) == self.p:
+        if len(slot) == self.p - len(self.dead):
             self._finish_collective(seq, slot)
 
     def _finish_collective(
         self, seq: int, slot: Dict[int, Tuple[Collective, float]]
     ) -> None:
-        any_op = slot[0][0]
+        any_op = next(iter(slot.values()))[0]
         arrive = max(clock for _, clock in slot.values())
         nbytes = max(op.nbytes for op, _ in slot.values())
         t_done = arrive + self.cm.collective_time(any_op.kind, self.p, nbytes)
-        results = _collective_results(
-            any_op.kind, any_op.root, any_op.op,
-            [slot[r][0].value for r in range(self.p)], self.p,
-        )
+        values = [slot[r][0].value if r in slot else None
+                  for r in range(self.p)]
+        if self.dead:
+            results = _collective_results_live(
+                any_op.kind, any_op.root, any_op.op, values, self.p,
+                self.dead)
+        else:
+            results = _collective_results(
+                any_op.kind, any_op.root, any_op.op, values, self.p)
         del self._coll_slots[seq]
-        for rid in range(self.p):
+        for rid in slot:
             st = self.ranks[rid]
             st.clock = t_done
             st.status = _READY
             st.resume_value = results[rid]
             self._push(st, t_done)
+
+    # -- faults ------------------------------------------------------------
+
+    def _crash(self, state: _RankState) -> None:
+        """Fail-stop with notification: stop the rank's program at this
+        op boundary, deliver a :class:`RankObituary` to every
+        still-running rank, and complete any collective that was
+        waiting only on the deceased."""
+        rid = state.rid
+        state.status = _DONE
+        state.trace.crashed = True
+        state.trace.finish_time = state.clock
+        self._finished += 1
+        self.dead.add(rid)
+        obit = RankObituary(rid)
+        cm = self.cm
+        for st in self.ranks:
+            if st.status == _DONE:
+                continue
+            arrival = state.clock + cm.wire_time(64)
+            chan = (rid, st.rid)
+            last = self._fifo_last.get(chan)
+            if last is not None and arrival <= last:
+                arrival = last + _FIFO_EPS
+            self._fifo_last[chan] = arrival
+            msg = Message(rid, TAG_OBITUARY, obit, arrival)
+            st.mailbox.append(msg)
+            if (st.status == _BLOCKED_RECV
+                    and msg.matches(st.want_source, st.want_tag)):
+                wake = max(st.block_clock, arrival)
+                if st.deadline is None or wake <= st.deadline:
+                    self._push(st, wake)
+        for seq, slot in sorted(list(self._coll_slots.items())):
+            if slot and len(slot) >= self.p - len(self.dead):
+                self._finish_collective(seq, slot)
 
 
 def _collective_results(
@@ -365,3 +470,33 @@ def _collective_results(
                 )
         return [[values[j][i] for j in range(p)] for i in range(p)]
     raise SimulationError(f"unknown collective kind {kind!r}")
+
+
+def _collective_results_live(
+    kind: str, root: int, redop: str, values: List[Any], p: int, dead
+) -> List[Any]:
+    """Collective results when some ranks are dead (fail-stop runs).
+
+    ``values`` has ``None`` at dead slots.  Only the kinds the
+    switching protocol uses are dead-tolerant: a barrier completes over
+    the survivors, an allgather keeps ``None`` at dead slots (so every
+    survivor observes the same death consensus), an allreduce reduces
+    the live values, and a bcast works while its root lives.  The
+    remaining kinds have no sensible partial semantics and fail loudly.
+    """
+    if kind == "barrier":
+        return [None] * p
+    if kind == "allgather":
+        return [list(values) for _ in range(p)]
+    if kind == "allreduce":
+        live_values = [v for r, v in enumerate(values) if r not in dead]
+        reduced = reduce_values(live_values, redop)
+        return [reduced] * p
+    if kind == "bcast":
+        if root in dead:
+            raise SimulationError(
+                f"bcast root rank {root} is dead")
+        return [values[root]] * p
+    raise SimulationError(
+        f"collective kind {kind!r} is not dead-tolerant "
+        f"(dead ranks: {sorted(dead)})")

@@ -1,0 +1,243 @@
+"""Deterministic fault injection for all three message-passing backends.
+
+A :class:`FaultPlan` is a *seeded, declarative* description of the
+faults one run should experience: message drops, duplicates and delays
+(rate-based or pinned to an exact send), plus at most one crash and one
+stall.  The plan is interpreted by a per-rank
+:class:`RankFaultInjector` hooked into the op-dispatch path of the
+discrete-event engine, the threads backend and the process backend.
+
+Backend independence is achieved by keying every fault on *logical*
+per-rank counters rather than on time:
+
+* message faults key on the rank's **send sequence number** (the n-th
+  ``Send`` this rank issues), drawn from a private
+  :class:`~repro.util.rng.RngStream` seeded with ``(plan.seed, rank)``;
+* crash/stall faults key on the rank's **op count** (the n-th op its
+  program yields).
+
+Both counters advance identically on every backend for the same rank
+program, so the same plan produces the same faults under the simulator,
+real threads and real processes.
+
+Delay semantics: a delayed message is *held* by the injector and
+re-emitted after the sender's next ``span`` sends — a protocol-visible
+FIFO violation (reordering) expressed without reference to wall or
+simulated time.
+
+Crash semantics are **fail-stop with notification**: the backend stops
+the rank's program at an op boundary (never inside a collective),
+marks it dead, and delivers a :class:`RankObituary` message with tag
+:data:`TAG_OBITUARY` to every still-running rank.  Collectives
+complete over the surviving ranks (dead slots contribute ``None``);
+sends towards a dead rank become *dead letters* (counted, not
+delivered).
+
+Every injected fault is recorded on the injector's event list, which
+the backends copy into the rank's :class:`~repro.mpsim.trace.RankTrace`
+(``faults_injected`` / ``fault_events``); the protocol layer mirrors
+fault *handling* (dedup suppressions, retransmits, deaths) into the
+audit event stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.mpsim.ops import Send
+from repro.util.rng import RngStream
+
+__all__ = [
+    "TAG_OBITUARY",
+    "RankObituary",
+    "FaultPlan",
+    "RankFaultInjector",
+    "build_injectors",
+]
+
+#: Tag of backend-generated :class:`RankObituary` messages.  Negative so
+#: it can never collide with protocol tags (which are >= 0) and is not
+#: matched by ``Recv(tag=TAG_PROTO)``; a wildcard ``Recv(tag=ANY_TAG)``
+#: does receive it.
+TAG_OBITUARY = -2
+
+
+@dataclass(frozen=True)
+class RankObituary:
+    """Payload of the backend's death notification for ``rank``."""
+
+    rank: int
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One run's worth of deterministic faults.
+
+    Rate-based faults draw one uniform per send from the per-rank
+    fault stream; pinned faults name exact ``(rank, send_seq)`` pairs
+    and take precedence over the rates.
+    """
+
+    #: Master seed of the per-rank fault streams.
+    seed: int = 0
+    #: Probability a sent message is silently dropped.
+    drop_rate: float = 0.0
+    #: Probability a sent message is delivered twice.
+    duplicate_rate: float = 0.0
+    #: Probability a sent message is held and re-emitted later.
+    delay_rate: float = 0.0
+    #: How many subsequent sends a rate-delayed message is held for.
+    delay_span: int = 3
+    #: Exact drops: ``(rank, send_seq)`` pairs.
+    drop: Tuple[Tuple[int, int], ...] = ()
+    #: Exact duplicates: ``(rank, send_seq)`` pairs.
+    duplicate: Tuple[Tuple[int, int], ...] = ()
+    #: Exact delays: ``(rank, send_seq, span)`` triples.
+    delay: Tuple[Tuple[int, int, int], ...] = ()
+    #: Rank to crash (fail-stop), or -1 for none.
+    crash_rank: int = -1
+    #: Op count on ``crash_rank`` at which the crash fires.
+    crash_at_op: int = -1
+    #: Rank to stall once, or -1 for none.
+    stall_rank: int = -1
+    #: Op count on ``stall_rank`` at which the stall fires.
+    stall_at_op: int = -1
+    #: Stall magnitude: simulated cost units (engine) or seconds
+    #: (threads/procs).
+    stall_cost: float = 0.0
+
+    def __post_init__(self):
+        for name in ("drop_rate", "duplicate_rate", "delay_rate"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+        if self.drop_rate + self.duplicate_rate + self.delay_rate > 1.0:
+            raise ValueError("fault rates must sum to at most 1")
+
+    @property
+    def any_message_faults(self) -> bool:
+        return bool(self.drop_rate or self.duplicate_rate or self.delay_rate
+                    or self.drop or self.duplicate or self.delay)
+
+
+class RankFaultInjector:
+    """Interprets one rank's slice of a :class:`FaultPlan`.
+
+    The backend calls :meth:`on_op` once per op freshly yielded by the
+    rank program and :meth:`on_send` for every ``Send`` (after
+    :meth:`on_op`); :meth:`flush` releases still-held delayed messages
+    when the program ends normally.
+    """
+
+    __slots__ = (
+        "plan", "rank", "rng", "send_seq", "op_count", "crashed",
+        "stalled", "events", "_held", "_drop", "_dup", "_delay", "_rates",
+    )
+
+    def __init__(self, plan: FaultPlan, rank: int):
+        self.plan = plan
+        self.rank = rank
+        self.rng = RngStream((plan.seed, rank))
+        self.send_seq = 0
+        self.op_count = 0
+        self.crashed = False
+        self.stalled = False
+        #: Human-readable record of every injected fault.
+        self.events: List[str] = []
+        self._held: List[Tuple[int, Send]] = []  # (release_after_seq, op)
+        self._drop = {s for r, s in plan.drop if r == rank}
+        self._dup = {s for r, s in plan.duplicate if r == rank}
+        self._delay = {s: max(1, span)
+                       for r, s, span in plan.delay if r == rank}
+        self._rates = bool(plan.drop_rate or plan.duplicate_rate
+                           or plan.delay_rate)
+
+    # -- op-boundary hook (crash / stall) ------------------------------
+
+    def on_op(self, op) -> Optional[str]:
+        """Advance the op clock; return ``"crash"`` or ``"stall"`` when
+        the plan schedules one at this boundary, else ``None``."""
+        self.op_count += 1
+        plan = self.plan
+        if (not self.crashed and plan.crash_rank == self.rank
+                and 0 <= plan.crash_at_op <= self.op_count):
+            self.crashed = True
+            self.events.append(f"crash at op {self.op_count}")
+            return "crash"
+        if (not self.stalled and plan.stall_rank == self.rank
+                and 0 <= plan.stall_at_op <= self.op_count):
+            self.stalled = True
+            self.events.append(
+                f"stall at op {self.op_count} cost={plan.stall_cost}")
+            return "stall"
+        return None
+
+    # -- send hook (drop / duplicate / delay / reorder) ----------------
+
+    def on_send(self, op: Send) -> List[Send]:
+        """The messages to actually transmit for this ``Send`` (may be
+        empty, may include released held messages after the current
+        one — that is the reorder)."""
+        seq = self.send_seq
+        self.send_seq += 1
+        verdict: object = None
+        if seq in self._drop:
+            verdict = "drop"
+        elif seq in self._dup:
+            verdict = "duplicate"
+        elif seq in self._delay:
+            verdict = ("delay", self._delay[seq])
+        elif self._rates:
+            # One uniform per send keeps the stream aligned across
+            # backends regardless of which faults fire.
+            u = self.rng.uniform()
+            plan = self.plan
+            if u < plan.drop_rate:
+                verdict = "drop"
+            elif u < plan.drop_rate + plan.duplicate_rate:
+                verdict = "duplicate"
+            elif u < (plan.drop_rate + plan.duplicate_rate
+                      + plan.delay_rate):
+                verdict = ("delay", plan.delay_span)
+        out: List[Send] = []
+        if verdict == "drop":
+            self.events.append(f"drop send#{seq} dest={op.dest} tag={op.tag}")
+        elif verdict == "duplicate":
+            self.events.append(
+                f"duplicate send#{seq} dest={op.dest} tag={op.tag}")
+            out = [op, op]
+        elif isinstance(verdict, tuple):
+            span = verdict[1]
+            self.events.append(
+                f"delay send#{seq} dest={op.dest} tag={op.tag} span={span}")
+            self._held.append((seq + span, op))
+        else:
+            out = [op]
+        if self._held:
+            due = [h for h in self._held if h[0] <= seq]
+            if due:
+                self._held = [h for h in self._held if h[0] > seq]
+                out.extend(h[1] for h in due)
+        return out
+
+    def flush(self) -> List[Send]:
+        """Messages still held when the program ends.  The backends
+        count them as dead letters — a packet the network still holds
+        when its sender exits is lost, never delivered into exited
+        ranks' mailboxes (a reliable sender has retransmitted it long
+        since)."""
+        out = [op for _, op in self._held]
+        self._held = []
+        if out:
+            self.events.append(f"flush {len(out)} delayed message(s)")
+        return out
+
+
+def build_injectors(plan: Optional[FaultPlan],
+                    num_ranks: int) -> Optional[List[RankFaultInjector]]:
+    """One injector per rank, or ``None`` when no plan is given (the
+    backends then skip the hook entirely — zero overhead)."""
+    if plan is None:
+        return None
+    return [RankFaultInjector(plan, rank) for rank in range(num_ranks)]

@@ -74,10 +74,19 @@ class Send:
 
 @dataclass(frozen=True)
 class Recv:
-    """Blocking receive; resumes the rank with a :class:`Message`."""
+    """Blocking receive; resumes the rank with a :class:`Message`.
+
+    ``timeout`` (``None`` = wait forever, the default) bounds the wait:
+    on expiry the rank is resumed with ``None`` instead of a message.
+    Units are backend-local — simulated cost units under the
+    discrete-event engine, wall-clock seconds under threads/procs —
+    so timed receives are a *liveness* device (fault-tolerance ticks),
+    never a correctness one.
+    """
 
     source: int = ANY_SOURCE
     tag: int = ANY_TAG
+    timeout: Optional[float] = None
 
 
 @dataclass(frozen=True)

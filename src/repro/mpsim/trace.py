@@ -28,6 +28,16 @@ class RankTrace:
     #: returned.  Always 0 for a correct protocol — the auditor treats
     #: any leftover as a violation (e.g. a DoneUp that outran cleanup).
     undelivered: int = 0
+    #: True when a fault plan crashed this rank (fail-stop).  A crashed
+    #: rank's leftover mailbox is *not* counted as undelivered.
+    crashed: bool = False
+    #: Messages sent towards an already-dead rank (dropped by the
+    #: backend, never delivered).
+    dead_letters: int = 0
+    #: Faults the plan injected on this rank (drop/dup/delay/crash/stall).
+    faults_injected: int = 0
+    #: Human-readable description of each injected fault, in order.
+    fault_events: List[str] = field(default_factory=list)
 
     def record_send(self, nbytes: int) -> None:
         self.messages_sent += 1
@@ -66,6 +76,16 @@ class ClusterTrace:
         """Messages never consumed by any rank program (0 when the
         protocol drained cleanly)."""
         return sum(r.undelivered for r in self.ranks)
+
+    @property
+    def total_faults_injected(self) -> int:
+        """Faults the plan injected across all ranks (0 without a plan)."""
+        return sum(r.faults_injected for r in self.ranks)
+
+    @property
+    def crashed_ranks(self) -> List[int]:
+        """Ranks a fault plan crashed, ascending."""
+        return [r.rank for r in self.ranks if r.crashed]
 
     @property
     def makespan(self) -> float:

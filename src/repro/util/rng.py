@@ -48,6 +48,18 @@ class RngStream:
         """Derive ``n`` statistically independent child streams."""
         return [RngStream(child) for child in self._seq.spawn(n)]
 
+    # -- checkpointing -------------------------------------------------
+
+    def get_state(self) -> dict:
+        """Pickleable snapshot of the stream position (the underlying
+        bit generator's state dict)."""
+        return self._gen.bit_generator.state
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`get_state`; the stream
+        then continues bit-identically to the original."""
+        self._gen.bit_generator.state = state
+
     # -- scalar draws (hot paths) -------------------------------------
 
     def randint(self, upper: int) -> int:

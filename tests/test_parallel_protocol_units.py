@@ -144,10 +144,10 @@ class TestCommitAcks:
     def test_acks_drain(self):
         rank = make_rank()
         conv = (0, 2)
-        rank.ack_wait[conv] = 2
+        rank.ack_wait[conv] = {1, 3}
         drain(rank.handle_commit_ack(1, CommitAck(conv)))
-        assert rank.ack_wait[conv] == 1
-        drain(rank.handle_commit_ack(1, CommitAck(conv)))
+        assert rank.ack_wait[conv] == {3}
+        drain(rank.handle_commit_ack(3, CommitAck(conv)))
         assert conv not in rank.ack_wait
 
     def test_unknown_ack_raises(self):
