@@ -1,0 +1,71 @@
+"""Compare two pytest-benchmark JSON files and fail on regression.
+
+::
+
+    python benchmarks/check_regression.py \
+        --baseline BENCH_ff4727e.json --current bench-current.json \
+        --threshold 0.25
+
+Benchmarks are matched by test name; a benchmark slower than
+``baseline_mean * (1 + threshold)`` is a regression and the script
+exits non-zero listing every offender.  Benchmarks present on only one
+side are reported but never fail the check (new benches must be able
+to land together with the code they measure).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_means(path: str) -> dict:
+    with open(path) as fh:
+        data = json.load(fh)
+    return {b["name"]: b["stats"]["mean"] for b in data["benchmarks"]}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_<sha>.json to compare against")
+    parser.add_argument("--current", required=True,
+                        help="freshly produced pytest-benchmark JSON")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed slowdown fraction (default 0.25)")
+    args = parser.parse_args(argv)
+
+    baseline = load_means(args.baseline)
+    current = load_means(args.current)
+    regressions = []
+
+    print(f"{'benchmark':<48} {'baseline':>10} {'current':>10} {'ratio':>7}")
+    for name in sorted(set(baseline) | set(current)):
+        if name not in baseline:
+            print(f"{name:<48} {'--':>10} {current[name]:>10.4f}   (new)")
+            continue
+        if name not in current:
+            print(f"{name:<48} {baseline[name]:>10.4f} {'--':>10}   (gone)")
+            continue
+        ratio = current[name] / baseline[name]
+        flag = "  REGRESSION" if ratio > 1 + args.threshold else ""
+        print(f"{name:<48} {baseline[name]:>10.4f} {current[name]:>10.4f} "
+              f"{ratio:>6.2f}x{flag}")
+        if flag:
+            regressions.append((name, ratio))
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%} vs {args.baseline}:", file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x the baseline mean",
+                  file=sys.stderr)
+        return 1
+    print(f"\nno regression beyond {args.threshold:.0%} "
+          f"vs {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

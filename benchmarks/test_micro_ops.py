@@ -5,14 +5,38 @@ experiment depends on: sequential switch throughput, sampling,
 partition construction, and the simulator's message throughput.
 """
 
+import time
+
 from repro.core.parallel.driver import parallel_edge_switch
 from repro.core.sequential import sequential_edge_switch
 from repro.graphs.generators import erdos_renyi_gnm
 from repro.graphs.reduced import ReducedAdjacencyGraph
-from repro.mpsim import SimulatedCluster
+from repro.mpsim import ProcessCluster, SimulatedCluster, ThreadCluster
 from repro.partition import ConsecutivePartitioner, build_partitions
 from repro.rvgen.multinomial import multinomial_conditional
 from repro.util.rng import RngStream
+
+#: DES ping-pong throughput measured at the growth seed (messages per
+#: second, best of 3 on the CI machine class) — the denominator of the
+#: ``speedup_vs_seed`` figure in the benchmark JSON.
+_SEED_PINGPONG_MSGS_PER_SEC = 66_252
+
+_PINGPONG_ROUNDS = 2_000
+_PINGPONG_ROUNDS_REAL = 400  # real backends: wall clock per hop is real
+
+
+def _pingpong_program(ctx):
+    """Two ranks bouncing one message (module-level: procs pickles it)."""
+    rounds = (_PINGPONG_ROUNDS_REAL if ctx.args else _PINGPONG_ROUNDS)
+    other = 1 - ctx.rank
+    for i in range(rounds):
+        if ctx.rank == 0:
+            yield from ctx.send(other, 1, i)
+            yield from ctx.recv()
+        else:
+            msg = yield from ctx.recv()
+            yield from ctx.send(other, 1, msg.payload)
+    return None
 
 
 def test_bench_sequential_switch_throughput(benchmark, miami):
@@ -49,21 +73,88 @@ def test_bench_partition_build(benchmark, miami):
 
 
 def test_bench_simulator_message_throughput(benchmark):
-    """Ping-pong: events through the DES per second."""
-    def prog(ctx):
-        other = 1 - ctx.rank
-        for i in range(2_000):
-            if ctx.rank == 0:
-                yield from ctx.send(other, 1, i)
-                yield from ctx.recv()
-            else:
-                msg = yield from ctx.recv()
-                yield from ctx.send(other, 1, msg.payload)
-        return None
+    """Ping-pong: events through the DES per second.
 
-    benchmark.pedantic(
-        lambda: SimulatedCluster(2, seed=0).run(prog),
-        rounds=1, iterations=1)
+    Unbatchable by design (every send waits for the reply), so this
+    measures the engine's per-transaction cost, not coalescing."""
+    elapsed = []
+
+    def run():
+        t0 = time.perf_counter()
+        SimulatedCluster(2, seed=0).run(_pingpong_program)
+        elapsed.append(time.perf_counter() - t0)
+
+    benchmark.pedantic(run, rounds=5, iterations=1)
+    msgs = 2 * _PINGPONG_ROUNDS / min(elapsed)  # best-of, like the seed figure
+    benchmark.extra_info["msgs_per_sec"] = round(msgs)
+    benchmark.extra_info["speedup_vs_seed"] = round(
+        msgs / _SEED_PINGPONG_MSGS_PER_SEC, 2)
+
+
+def test_bench_threads_message_throughput(benchmark):
+    """The same ping-pong over real threads (lock handoffs per hop)."""
+    elapsed = []
+
+    def run():
+        t0 = time.perf_counter()
+        ThreadCluster(2, seed=0).run(_pingpong_program, args=True)
+        elapsed.append(time.perf_counter() - t0)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["msgs_per_sec"] = round(
+        2 * _PINGPONG_ROUNDS_REAL / min(elapsed))
+
+
+def test_bench_procs_message_throughput(benchmark):
+    """The same ping-pong over OS processes (pipe pickles per hop)."""
+    elapsed = []
+
+    def run():
+        t0 = time.perf_counter()
+        ProcessCluster(2, seed=0).run(_pingpong_program, args=True)
+        elapsed.append(time.perf_counter() - t0)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["msgs_per_sec"] = round(
+        2 * _PINGPONG_ROUNDS_REAL / min(elapsed))
+
+
+def test_bench_procs_cross_rank_parallel_switch(benchmark):
+    """Cross-rank-heavy parallel switch on the process backend.
+
+    Two ranks under HP-U hash partitioning: roughly half of all switch
+    partners are remote, so nearly every operation crosses the pipe.
+    Fault tolerance is on — its frame acks and retransmit sweeps are
+    where two ranks produce the consecutive-send runs the coalescing
+    transport packs (at p = 2 without it, no burst exceeds one send).
+    The benchmark times the coalescing run; one uncoalesced run of the
+    same workload is timed alongside and reported as
+    ``speedup_vs_no_coalesce``."""
+    g = erdos_renyi_gnm(300, 1200, RngStream(6))
+
+    def run(coalesce):
+        t0 = time.perf_counter()
+        res = parallel_edge_switch(
+            g, 2, t=400, step_size=200, scheme="hp-u", seed=7,
+            backend="procs", fault_tolerance=True, coalesce=coalesce)
+        return res, time.perf_counter() - t0
+
+    coalesced = []
+
+    def timed_run():
+        res, secs = run(True)
+        coalesced.append(secs)
+        return res
+
+    res = benchmark.pedantic(timed_run, rounds=3, iterations=1)
+    assert res.fully_delivered
+    tc = res.reports[0].transport
+    assert tc is not None and tc["batched_messages"] > 0
+    _, uncoalesced = run(False)
+    benchmark.extra_info["uncoalesced_seconds"] = round(uncoalesced, 3)
+    benchmark.extra_info["speedup_vs_no_coalesce"] = round(
+        uncoalesced / min(coalesced), 2)
+    benchmark.extra_info["transport_rank0"] = tc
 
 
 def test_bench_graph_generation(benchmark):

@@ -66,6 +66,7 @@ EVENT_KINDS = frozenset({
     "ack_cancel",
     "checkpoint",
     "drain",
+    "transport",
 })
 
 

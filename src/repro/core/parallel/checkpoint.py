@@ -6,8 +6,10 @@ allgather there are **zero** in-flight messages, no open conversations,
 no reservations, and no checked-out edges — so a snapshot needs no
 mailbox or conversation state at all.  Per rank it captures exactly:
 
-* the partition (reduced adjacency lists, including the indexed edge
-  list — restored *in place* so driver-held references stay valid);
+* the partition's raw pool — the edge list in stored (unsorted) order
+  plus the checked-out set; the adjacency sets and position map are
+  rebuilt on restore (*in place*, so driver-held references stay
+  valid), which keeps snapshot cost at one list + one set pickle;
 * the visit tracker (which initial edges were consumed);
 * the RNG stream position (``bit_generator.state`` — the resumed
   stream continues bit-identically);
@@ -47,7 +49,9 @@ __all__ = [
 ]
 
 #: Checkpoint file format version (bumped on layout changes).
-FORMAT = 1
+#: 2: per-rank blobs carry the raw edge pool + checked-out set only;
+#: adjacency sets and the position map are rebuilt on restore.
+FORMAT = 2
 
 _PREFIX = "switch-ckpt-step"
 _SUFFIX = ".pkl"

@@ -57,6 +57,7 @@ from repro.core.visit_rate import VisitTracker
 from repro.errors import ProtocolError
 from repro.mpsim.ops import Compute, Probe, Send
 from repro.types import Edge
+from repro.util.rng import BlockSampler
 
 __all__ = ["ConversationMixin"]
 
@@ -77,6 +78,9 @@ class ConversationMixin:
     serial: int
     tracker: VisitTracker
     report: RankReport
+    #: Block-buffered edge-index and coin draws (``edge_at`` sampling);
+    #: reset at every step entry for checkpoint stream alignment.
+    sampler: BlockSampler
     #: Flight recorder + invariant checker; ``None`` when auditing is
     #: off, so the hot path pays a single identity check per hook.
     audit: Optional[ProtocolAuditor]
@@ -161,7 +165,10 @@ class ConversationMixin:
                 self.consecutive_failures = 0
                 continue
             yield Compute(self.cost.switch_compute)
-            e1 = self.part.sample_edge(self.ctx.rng)
+            # Edge indices and coins come from vectorised blocks (the
+            # sequential hot loop's trick); only the partner pick stays
+            # a scalar draw (its weights change every step).
+            e1 = self.part.edge_at(self.sampler.index(self.part.pool_size))
             self.part.checkout(e1)
             partner = self.ctx.rng.choice_weighted(self.q)
             if partner != me:
@@ -186,9 +193,10 @@ class ConversationMixin:
                 self.report.bump_rejection(FailureReason.EMPTY_POOL)
                 self.consecutive_failures += 1
                 continue
-            e2 = self.part.sample_edge(self.ctx.rng)
+            e2 = self.part.edge_at(self.sampler.index(self.part.pool_size))
             self.part.checkout(e2)
-            kind = SwitchKind.CROSS if self.ctx.rng.coin() else SwitchKind.STRAIGHT
+            kind = SwitchKind.CROSS if self.sampler.coin() \
+                else SwitchKind.STRAIGHT
             proposal, reason = propose_switch(e1, e2, kind)
             if proposal is None:
                 self.part.release(e1)
@@ -266,9 +274,10 @@ class ConversationMixin:
             yield self._proto(
                 source, Retry(msg.conv, FailureReason.EMPTY_POOL.value))
             return
-        e2 = self.part.sample_edge(self.ctx.rng)
+        e2 = self.part.edge_at(self.sampler.index(self.part.pool_size))
         self.part.checkout(e2)
-        kind = SwitchKind.CROSS if self.ctx.rng.coin() else SwitchKind.STRAIGHT
+        kind = SwitchKind.CROSS if self.sampler.coin() \
+            else SwitchKind.STRAIGHT
         proposal, reason = propose_switch(msg.e1, e2, kind)
         if proposal is None:
             self.part.release(e2)

@@ -67,6 +67,11 @@ from repro.core.parallel.messages import (
 )
 from repro.core.parallel.protocol import ConversationMixin
 from repro.core.parallel.state import InitiatorState, RankReport, ServantState
+from repro.core.parallel.transport import (
+    TransportCounters,
+    coalescing_program,
+)
+from repro.util.rng import BlockSampler
 from repro.core.visit_rate import VisitTracker
 from repro.errors import ProtocolError
 from repro.mpsim.context import RankContext
@@ -133,7 +138,11 @@ class SwitchRank(ConversationMixin):
         self.checkpoint_sink = getattr(args, "checkpoint_sink", None)
         self.restore_state = getattr(args, "restore_state", None)
         self.halt_after_step = getattr(args, "halt_after_step", None)
+        # transport (populated by switch_rank_program when coalescing
+        # is on; None keeps the report field empty)
+        self.transport_counters: Optional[TransportCounters] = None
         # conversation state (ConversationMixin contract)
+        self.sampler = BlockSampler(ctx.rng)
         self.reserved = set()
         self.servant = {}
         self.active: Optional[InitiatorState] = None
@@ -231,6 +240,14 @@ class SwitchRank(ConversationMixin):
         if self.channel is not None:
             yield from self._drain_mailbox()
         self._verify_quiescent()
+        tc = self.transport_counters
+        if tc is not None:
+            # Every send this program will ever yield has passed the
+            # coalescing adapter by now (the ops above resumed us), so
+            # the counters are final.
+            self.report.transport = tc.snapshot()
+            if self.audit is not None:
+                self.audit.record("transport", note=tc.summary())
         if self.audit is not None:
             self.report.audit_events = list(self.audit.recorder.tail())
         return self.report
@@ -238,6 +255,10 @@ class SwitchRank(ConversationMixin):
     # -- one step ------------------------------------------------------------
 
     def _run_step(self, assigned: int):
+        # Drop prefetched RNG blocks at every step entry: a restored
+        # run starts the step with the snapshot's bare stream position,
+        # so the live run must too (see BlockSampler.reset).
+        self.sampler.reset()
         self.quota = assigned
         self.step_forfeited = 0
         self._step_completed_base = self.report.switches_completed
@@ -584,12 +605,18 @@ class SwitchRank(ConversationMixin):
 
     def _snapshot(self, remaining: int) -> dict:
         """Step-boundary state capture; quiescence (verified by the
-        auditor) means no mailbox or conversation state exists."""
+        auditor) means no mailbox or conversation state exists.
+
+        Only the raw pool travels — the edge list in its stored
+        (unsorted) order plus the checked-out set.  The adjacency sets
+        and the position map are derivable, and pickling them roughly
+        tripled the blob and the snapshot time; restore rebuilds them
+        (``ReducedAdjacencyGraph.restore_pool``).  Nothing sorts here:
+        canonical ordering is a verification-time concern
+        (``edge_list`` in tests), not a snapshot one."""
         part = self.part
         return {
-            "adj": part._adj,
             "edges": part._edges,
-            "index": part._index,
             "checked": part._checked,
             "tracker_remaining": self.tracker._remaining,
             "tracker_initial": self.tracker._initial_count,
@@ -607,14 +634,7 @@ class SwitchRank(ConversationMixin):
 
         The partition is restored *in place*: the driver holds
         references to the partition objects for final reassembly."""
-        part = self.part
-        part._adj.clear()
-        part._adj.update(state["adj"])
-        part._edges[:] = state["edges"]
-        part._index.clear()
-        part._index.update(state["index"])
-        part._checked.clear()
-        part._checked.update(state["checked"])
+        self.part.restore_pool(state["edges"], state["checked"])
         self.tracker._remaining = set(state["tracker_remaining"])
         self.tracker._initial_count = state["tracker_initial"]
         self.ctx.rng.set_state(state["rng"])
@@ -651,9 +671,23 @@ class SwitchRank(ConversationMixin):
 
 
 def switch_rank_program(ctx: RankContext):
-    """Entry point handed to a cluster's ``run``."""
+    """Entry point handed to a cluster's ``run``.
+
+    When the config carries an enabled
+    :class:`~repro.core.parallel.transport.TransportConfig`, the rank
+    program runs behind the coalescing adapter: consecutive sends reach
+    the backend as single frames and the per-rank transport counters
+    land in the report.  Otherwise the generator is handed to the
+    backend bare (zero wrapping overhead).
+    """
     rank = SwitchRank(ctx)
-    report = yield from rank.main()
+    tcfg = getattr(rank.config, "transport", None)
+    if tcfg is None or not tcfg.enabled:
+        report = yield from rank.main()
+        return report
+    counters = TransportCounters()
+    rank.transport_counters = counters
+    report = yield from coalescing_program(rank.main(), tcfg, counters)
     return report
 
 

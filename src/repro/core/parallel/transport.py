@@ -1,0 +1,173 @@
+"""Coalescing transport between the conversation protocol and the
+message-passing backends.
+
+The switching protocol emits bursts of point-to-point sends: commit and
+abort notifications fan out to every visited rank, the termination
+scheme floods DoneAll, and the fault-tolerance layer retransmits every
+due frame in one sweep.  Uncoalesced, each of those sends costs one
+backend transaction — one discrete-event resume on the simulator, one
+lock handoff on the threads backend, one pipe pickle on the process
+backend.  The :class:`CoalescingChannel` adapter sits between the rank
+program and the backend and packs each *maximal run of consecutive
+``Send`` yields* into a single :class:`~repro.mpsim.ops.SendBatch`
+frame, so the whole burst costs one transaction.
+
+Flush triggers (the moments a buffered run is handed to the backend):
+
+``batch_full``
+    the buffer reached ``TransportConfig.max_batch`` parts;
+``recv``
+    the program issued a blocking receive — it needs a reply, and the
+    messages that provoke the reply must be on the wire first;
+``ft_tick``
+    a *timed* receive (the fault-tolerance serve loop) — same as
+    ``recv``, counted separately because it bounds retransmit latency;
+``probe``
+    a non-blocking probe (the serve loop's fairness check);
+``collective``
+    a collective — the step barrier; every step boundary flushes before
+    the quiescence-dependent allgather runs;
+``compute``
+    a local compute charge, only when ``flush_on_compute`` is true (the
+    discrete-event backend: holding a send across a compute would shift
+    its charge time and break bit-identity with the uncoalesced run);
+``end``
+    the rank program finished with parts still buffered.
+
+Determinism contract: on the discrete-event backend the engine charges
+``SendBatch`` parts with exactly the per-message arithmetic of
+individual sends, and ``flush_on_compute`` is true there, so the op
+stream differs from the uncoalesced run *only* in how sends are grouped
+— every clock, arrival time and delivery order is bit-identical.  On
+the real backends (threads/procs) coalescing additionally holds frames
+across ``Compute`` yields — ``Compute`` is rank-local, so the
+receiver-visible message order per channel is unchanged.
+
+Fault-injection granularity: the backends decompose a frame and feed
+each part through the injector *individually, in yield order*, so a
+:class:`~repro.mpsim.faults.FaultPlan`'s drop/duplicate/delay decisions
+key on logical messages and stay aligned whether coalescing is on or
+off.  Crash/stall points count backend *ops*, which coalescing does
+change — see ``docs/simulator.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.mpsim.ops import Collective, Compute, Probe, Recv, Send, SendBatch
+
+__all__ = ["TransportConfig", "TransportCounters", "coalescing_program"]
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Coalescing parameters (driver-resolved, shared by every rank)."""
+
+    #: Master switch; off means the rank program is not wrapped at all
+    #: (zero overhead, zero counters).
+    enabled: bool = True
+    #: Flush when this many sends are buffered.  Protocol bursts are
+    #: bounded by the conversation span (≤ 4 ranks) plus the DoneAll
+    #: flood (p - 1), so the cap matters mostly for retransmit sweeps.
+    max_batch: int = 32
+    #: Flush before a ``Compute`` yield.  ``None`` means backend-
+    #: resolved by the driver: True on the discrete-event backend
+    #: (required for bit-identity with the uncoalesced run), False on
+    #: threads/procs (lets a FrameAck ride with the handler's reply).
+    flush_on_compute: Optional[bool] = None
+
+
+@dataclass
+class TransportCounters:
+    """Per-rank transport statistics, reported in ``RankReport`` and
+    recorded on the audit stream at run end."""
+
+    #: Logical protocol messages emitted by the rank program.
+    messages: int = 0
+    #: Backend send transactions: coalesced frames plus singleton sends.
+    frames: int = 0
+    #: Messages that travelled inside a multi-part frame.
+    batched_messages: int = 0
+    #: Payload bytes across all messages (the ``nbytes`` cost hints).
+    bytes: int = 0
+    #: Flush-trigger histogram (see the module docstring for keys).
+    flushes: Dict[str, int] = field(default_factory=dict)
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy (pickles cheaply through rank reports)."""
+        return {
+            "messages": self.messages,
+            "frames": self.frames,
+            "batched_messages": self.batched_messages,
+            "bytes": self.bytes,
+            "flushes": dict(self.flushes),
+        }
+
+    def summary(self) -> str:
+        """One-line form for the audit stream."""
+        return (f"msgs={self.messages} frames={self.frames} "
+                f"batched={self.batched_messages} bytes={self.bytes}")
+
+
+#: Flush reason per non-Send op kind (Recv is special-cased: a timeout
+#: marks the fault-tolerance tick).
+_FLUSH_REASON = {Probe: "probe", Collective: "collective",
+                 Compute: "compute"}
+
+
+def coalescing_program(inner, config: TransportConfig,
+                       counters: TransportCounters):
+    """Wrap a rank-program generator with send coalescing.
+
+    Drives ``inner`` op by op: consecutive ``Send`` yields accumulate
+    in a buffer (the program is resumed immediately — protocol sends
+    are fire-and-forget), any other op flushes the buffer as one
+    :class:`SendBatch` before being forwarded, and the backend's answer
+    to the forwarded op is fed back to ``inner``.  The wrapped
+    generator's return value is passed through.
+    """
+    buf: List[Send] = []
+    flushes = counters.flushes
+    max_batch = config.max_batch
+    flush_on_compute = bool(config.flush_on_compute)
+
+    def _flush(reason: str):
+        counters.frames += 1
+        flushes[reason] = flushes.get(reason, 0) + 1
+        if len(buf) == 1:
+            frame = buf[0]
+        else:
+            frame = SendBatch(tuple(buf))
+            counters.batched_messages += len(buf)
+        buf.clear()
+        return frame
+
+    try:
+        op = next(inner)
+    except StopIteration as stop:
+        return stop.value
+    while True:
+        kind = type(op)
+        if kind is Send:
+            buf.append(op)
+            counters.messages += 1
+            counters.bytes += op.nbytes
+            if len(buf) >= max_batch:
+                yield _flush("batch_full")
+            result = None
+        else:
+            if buf and (kind is not Compute or flush_on_compute):
+                if kind is Recv:
+                    reason = "recv" if op.timeout is None else "ft_tick"
+                else:
+                    reason = _FLUSH_REASON.get(kind, "other")
+                yield _flush(reason)
+            result = yield op
+        try:
+            op = inner.send(result)
+        except StopIteration as stop:
+            if buf:
+                yield _flush("end")
+            return stop.value

@@ -197,6 +197,31 @@ class ReducedAdjacencyGraph:
     def is_checked_out(self, edge: Edge) -> bool:
         return edge in self._checked
 
+    # -- snapshot/restore --------------------------------------------------
+
+    def restore_pool(self, edges: List[Edge], checked: Iterable[Edge]) -> None:
+        """Rebuild the full structure from a raw pool snapshot.
+
+        ``edges`` is the pool in its stored (unsorted) order and
+        ``checked`` the checked-out set; the position map and the
+        adjacency sets are derived, so snapshots need not carry them.
+        Restores *in place* — callers holding a reference keep it.
+        The owned-vertex set is unchanged (ownership is fixed for a
+        partition's lifetime).
+        """
+        adj = self._adj
+        for s in adj.values():
+            s.clear()
+        self._edges[:] = edges
+        self._index.clear()
+        for pos, (lo, hi) in enumerate(edges):
+            self._index[(lo, hi)] = pos
+            adj[lo].add(hi)
+        self._checked.clear()
+        for lo, hi in checked:
+            self._checked.add((lo, hi))
+            adj[lo].add(hi)
+
     # -- sampling ------------------------------------------------------------
 
     def sample_edge(self, rng: RngStream) -> Edge:

@@ -28,6 +28,7 @@ from repro.mpsim.ops import (
     Probe,
     Recv,
     Send,
+    SendBatch,
 )
 from repro.mpsim.costmodel import CostModel
 from repro.mpsim.cluster import SimulatedCluster, RunResult
@@ -43,6 +44,7 @@ __all__ = [
     "Probe",
     "Recv",
     "Send",
+    "SendBatch",
     "CostModel",
     "SimulatedCluster",
     "ThreadCluster",

@@ -37,6 +37,9 @@ __all__ = ["RankContext", "RankProgram"]
 #: Signature of a rank program.
 RankProgram = Callable[["RankContext"], Generator]
 
+#: The wildcard blocking receive, prebuilt once (hot-path constant).
+_RECV_ANY = Recv(ANY_SOURCE, ANY_TAG, None)
+
 
 class RankContext:
     """Everything a rank program sees: its identity, its private RNG
@@ -55,8 +58,15 @@ class RankContext:
 
     def send(self, dest: int, tag: int, payload: Any = None,
              nbytes: int = 64):
-        """Buffered asynchronous send (generator; use ``yield from``)."""
-        yield Send(dest, tag, payload, nbytes)
+        """Buffered asynchronous send (use ``yield from``).
+
+        Returns a one-op tuple rather than being a generator: sends are
+        fire-and-forget (every backend resumes them with ``None``), so
+        ``yield from`` can delegate to a plain tuple iterator and skip
+        the per-call generator frame — this is the hottest helper of
+        every protocol hop.
+        """
+        return (Send(dest, tag, payload, nbytes),)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
              timeout: Optional[float] = None):
@@ -66,7 +76,10 @@ class RankContext:
         arrives within the (backend-local) bound — see
         :class:`~repro.mpsim.ops.Recv`.
         """
-        msg = yield Recv(source, tag, timeout)
+        if source == ANY_SOURCE and tag == ANY_TAG and timeout is None:
+            msg = yield _RECV_ANY  # cached: skip the namedtuple build
+        else:
+            msg = yield Recv(source, tag, timeout)
         return msg
 
     def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
@@ -77,8 +90,9 @@ class RankContext:
     # -- local work -----------------------------------------------------------
 
     def compute(self, cost: float):
-        """Charge ``cost`` units of local computation."""
-        yield Compute(cost)
+        """Charge ``cost`` units of local computation (use ``yield
+        from``; a tuple for the same reason as :meth:`send`)."""
+        return (Compute(cost),)
 
     # -- collectives -------------------------------------------------------------
 

@@ -12,6 +12,23 @@ ops.
 Determinism: ties on the heap are broken by rank id, messages are FIFO
 per (source, dest) pair, and all randomness comes from per-rank
 spawned streams — the same master seed always yields the same trace.
+
+Hot path: :meth:`SimulationEngine._advance` is the inner interpreter
+loop and is written for speed — trace counters are bumped inline, the
+wire-time formula (``α + β·bytes``) is inlined (``CostModel`` is a
+flat frozen value type, never subclassed), FIFO channels are keyed by
+``source·p + dest`` ints, and a rank whose deferred synchronising op
+would provably be the next event popped skips the heap round-trip.
+That last fast path preserves the exact event order: the rank proceeds
+only when ``(clock, rid)`` sorts strictly before the heap top, which
+is precisely the condition under which pushing and immediately popping
+would return the same rank.
+
+:class:`~repro.mpsim.ops.SendBatch` (a coalesced frame of consecutive
+sends) is charged **per part** with exactly the arithmetic of
+individual sends, so a run with transport coalescing enabled produces
+a bit-identical trace to one without it; the batch only saves the
+per-message generator suspensions.
 """
 
 from __future__ import annotations
@@ -30,6 +47,7 @@ from repro.mpsim.ops import (
     Probe,
     Recv,
     Send,
+    SendBatch,
 )
 from repro.mpsim.trace import RankTrace
 
@@ -43,6 +61,8 @@ _DONE = 3
 
 # Minimum spacing enforcing FIFO per channel.
 _FIFO_EPS = 1e-9
+
+_EMPTY_TUPLE: Tuple = ()
 
 
 class _RankState:
@@ -90,9 +110,11 @@ class SimulationEngine:
         self.max_events = max_events
         self.ranks = [_RankState(i, g) for i, g in enumerate(generators)]
         self._heap: List[Tuple[float, int, int]] = []
-        self._fifo_last: Dict[Tuple[int, int], float] = {}
+        #: Last arrival per FIFO channel, keyed ``source * p + dest``.
+        self._fifo_last: Dict[int, float] = {}
         self._coll_slots: Dict[int, Dict[int, Tuple[Collective, float]]] = {}
         self._finished = 0
+        self._events = 0
         if injectors is not None and len(injectors) != self.p:
             raise SimulationError(
                 f"{len(injectors)} fault injectors for {self.p} ranks")
@@ -105,25 +127,29 @@ class SimulationEngine:
         """Run to completion; returns the simulated makespan."""
         for state in self.ranks:
             self._push(state, 0.0)
-        events = 0
+        heap = self._heap
+        ranks = self.ranks
+        heappop = heapq.heappop
+        max_events = self.max_events
         while self._finished < self.p:
-            if not self._heap:
+            if not heap:
                 self._raise_deadlock()
-            time, rid, token = heapq.heappop(self._heap)
-            state = self.ranks[rid]
-            if state.status == _DONE or token != state.token:
+            time, rid, token = heappop(heap)
+            state = ranks[rid]
+            status = state.status
+            if status == _DONE or token != state.token:
                 continue  # stale event
-            events += 1
-            if events > self.max_events:
+            self._events += 1
+            if self._events > max_events:
                 raise SimulationError(
                     f"event budget exceeded ({self.max_events}); "
                     "likely a livelock in a rank program"
                 )
-            if state.status == _BLOCKED_RECV:
+            if status == _BLOCKED_RECV:
                 self._complete_recv(state, time)
                 if state.status == _READY:
                     self._advance(state, state.clock)
-            elif state.status == _READY:
+            elif status == _READY:
                 self._advance(state, time)
             else:  # BLOCKED_COLL ranks are resumed via _finish_collective
                 raise SimulationError(
@@ -178,7 +204,21 @@ class SimulationEngine:
     def _advance(self, state: _RankState, t_pop: float) -> None:
         """Drive ``state``'s generator until it blocks, defers, or ends."""
         cm = self.cm
-        inj = self.injectors[state.rid] if self.injectors is not None else None
+        send_ovh = cm.send_overhead
+        alpha = cm.alpha
+        beta = cm.beta
+        p = self.p
+        rid = state.rid
+        chan_base = rid * p
+        ranks = self.ranks
+        dead = self.dead
+        fifo = self._fifo_last
+        fifo_get = fifo.get
+        heap = self._heap
+        heappush = heapq.heappush
+        trace = state.trace
+        gen_send = state.gen.send
+        inj = self.injectors[rid] if self.injectors is not None else None
         value = state.resume_value
         state.resume_value = None
         op = state.pending_op
@@ -186,7 +226,7 @@ class SimulationEngine:
         while True:
             if op is None:
                 try:
-                    op = state.gen.send(value)
+                    op = gen_send(value)
                 except StopIteration as stop:
                     if inj is not None:
                         # A message still held by the "network" when
@@ -206,7 +246,9 @@ class SimulationEngine:
                 value = None
                 if inj is not None:
                     # Fault hook fires once per freshly yielded op (ops
-                    # re-examined after a block are not re-counted).
+                    # re-examined after a block are not re-counted; a
+                    # SendBatch frame counts as one op, its parts as
+                    # one send each).
                     action = inj.on_op(op)
                     if action == "crash":
                         self._crash(state)
@@ -217,26 +259,91 @@ class SimulationEngine:
             kind = type(op)
             if kind is Compute:
                 state.clock += op.cost
-                state.trace.record_compute(op.cost)
+                trace.compute_time += op.cost
                 op = None
                 continue
-            if kind is Send:
+            if kind is Send or kind is SendBatch:
+                parts = op.parts if kind is SendBatch else (op,)
                 if inj is not None:
-                    for real in inj.on_send(op):
-                        self._do_send(state, real)
-                else:
-                    self._do_send(state, op)
+                    for part in parts:
+                        for real in inj.on_send(part):
+                            self._do_send(state, real)
+                    op = None
+                    continue
+                # Inlined _do_send: identical arithmetic, no per-message
+                # function calls.  Charged per part, so a coalesced
+                # frame leaves the simulated timeline bit-identical to
+                # individual sends.
+                for part in parts:
+                    dest_rid = part.dest
+                    if dest_rid < 0 or dest_rid >= p:
+                        raise SimulationError(
+                            f"rank {rid} sent to invalid rank {dest_rid}"
+                        )
+                    clock = state.clock + send_ovh
+                    state.clock = clock
+                    trace.compute_time += send_ovh
+                    if dead and dest_rid in dead:
+                        # Dead letter: charged to the sender, never
+                        # delivered.
+                        trace.dead_letters += 1
+                        continue
+                    nbytes = part.nbytes
+                    arrival = clock + alpha + beta * nbytes
+                    chan = chan_base + dest_rid
+                    last = fifo_get(chan)
+                    if last is not None and arrival <= last:
+                        arrival = last + _FIFO_EPS
+                    fifo[chan] = arrival
+                    tag = part.tag
+                    msg = Message(rid, tag, part.payload, arrival)
+                    dest = ranks[dest_rid]
+                    dest.mailbox.append(msg)
+                    trace.messages_sent += 1
+                    trace.bytes_sent += nbytes
+                    if dest.status == _BLOCKED_RECV:
+                        ws = dest.want_source
+                        wt = dest.want_tag
+                        if (ws == -1 or ws == rid) and (wt == -1 or wt == tag):
+                            bc = dest.block_clock
+                            wake = arrival if arrival > bc else bc
+                            ddl = dest.deadline
+                            if ddl is None or wake <= ddl:
+                                tk = dest.token + 1
+                                dest.token = tk
+                                heappush(heap, (wake, dest_rid, tk))
+                            # else: the receive's deadline event is
+                            # still the valid token and fires first —
+                            # the receive times out before this message
+                            # arrives.
                 op = None
                 continue
             # Synchronising ops must resolve at the global minimum time.
             if state.clock > t_pop:
-                state.pending_op = op
-                self._push(state, state.clock)
-                return
-            if kind is Probe:
-                value = self._probe_now(state, op)
-                op = None
-                continue
+                # Fast path: if (clock, rid) sorts strictly before the
+                # heap top, pushing and popping would hand control
+                # straight back to this rank — skip the round-trip.
+                # (Exact order preserved; ties defer to the heap.)
+                if heap:
+                    top = heap[0]
+                    if state.clock < top[0] or (state.clock == top[0]
+                                                and rid < top[1]):
+                        t_pop = state.clock
+                    else:
+                        state.pending_op = op
+                        self._push(state, state.clock)
+                        return
+                else:
+                    t_pop = state.clock
+                # A jump still counts against the event budget so an
+                # infinite sync-op loop cannot livelock the host.
+                ev = self._events + 1
+                self._events = ev
+                if ev > self.max_events:
+                    raise SimulationError(
+                        f"event budget exceeded ({self.max_events}); "
+                        "likely a livelock in a rank program"
+                    )
             if kind is Recv:
                 if self._try_recv(state, op):
                     value = state.resume_value
@@ -244,12 +351,28 @@ class SimulationEngine:
                     op = None
                     continue
                 return  # blocked
+            if kind is Probe:
+                # Inlined _probe_now.
+                now = state.clock
+                src = op.source
+                tag = op.tag
+                value = False
+                for msg in state.mailbox:
+                    if (msg.arrival <= now
+                            and (src == -1 or src == msg.source)
+                            and (tag == -1 or tag == msg.tag)):
+                        value = True
+                        break
+                op = None
+                continue
             if kind is Collective:
                 self._join_collective(state, op)
                 return
             raise SimulationError(f"rank {state.rid} yielded unknown op {op!r}")
 
     def _do_send(self, state: _RankState, op: Send) -> None:
+        """Single-message send (fault-injection and crash paths; the
+        fault-free hot path is inlined in :meth:`_advance`)."""
         if not 0 <= op.dest < self.p:
             raise SimulationError(
                 f"rank {state.rid} sent to invalid rank {op.dest}"
@@ -262,7 +385,7 @@ class SimulationEngine:
             state.trace.dead_letters += 1
             return
         arrival = state.clock + cm.wire_time(op.nbytes)
-        chan = (state.rid, op.dest)
+        chan = state.rid * self.p + op.dest
         last = self._fifo_last.get(chan)
         if last is not None and arrival <= last:
             arrival = last + _FIFO_EPS
@@ -279,39 +402,39 @@ class SimulationEngine:
             # token and fires first — the receive times out before
             # this message arrives.
 
-    def _probe_now(self, state: _RankState, op: Probe) -> bool:
-        now = state.clock
-        for msg in state.mailbox:
-            if msg.arrival <= now and msg.matches(op.source, op.tag):
-                return True
-        return False
-
     def _try_recv(self, state: _RankState, op: Recv) -> bool:
         """Complete the receive if a matching message has arrived;
         otherwise block the rank.  Returns True on completion."""
         now = state.clock
+        src = op.source
+        tag = op.tag
         best_idx = -1
         best_arrival = float("inf")
         earliest_future = None
-        for idx, msg in enumerate(state.mailbox):
-            if not msg.matches(op.source, op.tag):
-                continue
-            if msg.arrival <= now:
-                if msg.arrival < best_arrival:
-                    best_arrival = msg.arrival
-                    best_idx = idx
-            elif earliest_future is None or msg.arrival < earliest_future:
-                earliest_future = msg.arrival
+        idx = 0
+        for msg in state.mailbox:
+            if (src == -1 or src == msg.source) and (tag == -1
+                                                     or tag == msg.tag):
+                arr = msg.arrival
+                if arr <= now:
+                    if arr < best_arrival:
+                        best_arrival = arr
+                        best_idx = idx
+                elif earliest_future is None or arr < earliest_future:
+                    earliest_future = arr
+            idx += 1
         if best_idx >= 0:
             msg = state.mailbox.pop(best_idx)
-            state.clock += self.cm.recv_overhead
-            state.trace.record_recv()
-            state.trace.record_compute(self.cm.recv_overhead)
+            ovh = self.cm.recv_overhead
+            state.clock = now + ovh
+            trace = state.trace
+            trace.messages_received += 1
+            trace.compute_time += ovh
             state.resume_value = msg
             return True
         state.status = _BLOCKED_RECV
-        state.want_source = op.source
-        state.want_tag = op.tag
+        state.want_source = src
+        state.want_tag = tag
         state.block_clock = now
         state.deadline = None if op.timeout is None else now + op.timeout
         wake = earliest_future
@@ -325,14 +448,19 @@ class SimulationEngine:
     def _complete_recv(self, state: _RankState, time: float) -> None:
         """Wake event for a blocked receiver: consume the earliest
         matching arrived message."""
+        src = state.want_source
+        tag = state.want_tag
         best_idx = -1
         best_arrival = float("inf")
-        for idx, msg in enumerate(state.mailbox):
-            if (msg.arrival <= time
-                    and msg.matches(state.want_source, state.want_tag)
-                    and msg.arrival < best_arrival):
-                best_arrival = msg.arrival
+        idx = 0
+        for msg in state.mailbox:
+            arr = msg.arrival
+            if (arr <= time and arr < best_arrival
+                    and (src == -1 or src == msg.source)
+                    and (tag == -1 or tag == msg.tag)):
+                best_arrival = arr
                 best_idx = idx
+            idx += 1
         if best_idx < 0:
             if (state.deadline is not None
                     and time >= state.deadline - _FIFO_EPS):
@@ -349,11 +477,14 @@ class SimulationEngine:
                 f"rank {state.rid}: wake at t={time} with no matching message"
             )
         msg = state.mailbox.pop(best_idx)
-        state.clock = max(state.block_clock, msg.arrival) + self.cm.recv_overhead
+        bc = state.block_clock
+        ovh = self.cm.recv_overhead
+        state.clock = (best_arrival if best_arrival > bc else bc) + ovh
         state.status = _READY
         state.deadline = None
-        state.trace.record_recv()
-        state.trace.record_compute(self.cm.recv_overhead)
+        trace = state.trace
+        trace.messages_received += 1
+        trace.compute_time += ovh
         state.resume_value = msg
 
     # -- collectives -------------------------------------------------------------
@@ -422,7 +553,7 @@ class SimulationEngine:
             if st.status == _DONE:
                 continue
             arrival = state.clock + cm.wire_time(64)
-            chan = (rid, st.rid)
+            chan = rid * self.p + st.rid
             last = self._fifo_last.get(chan)
             if last is not None and arrival <= last:
                 arrival = last + _FIFO_EPS

@@ -17,7 +17,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-__all__ = ["RngStream", "spawn_streams"]
+__all__ = ["BlockSampler", "RngStream", "spawn_streams"]
 
 
 class RngStream:
@@ -105,6 +105,71 @@ class RngStream:
     def sample_indices(self, upper: int, k: int) -> np.ndarray:
         """``k`` uniform indices in ``[0, upper)`` drawn with replacement."""
         return self._gen.integers(upper, size=k)
+
+
+class BlockSampler:
+    """Buffered uniform draws for hot switching loops.
+
+    One vectorised ``Generator.integers`` call is amortised over a
+    block of scalar consumptions — the sequential algorithm's trick
+    (``core.sequential``), packaged for the parallel protocol where
+    the pool size changes as conversations check edges in and out.
+    Index buffers are keyed by their upper bound, so an attempt loop
+    oscillating between pool sizes ``P`` and ``P - 1`` reuses both
+    blocks instead of refilling on every draw.
+
+    A prefetched index drawn at upper bound ``u`` is uniform over any
+    *current* ``u``-element pool: the draw is independent of the pool's
+    contents, so swap-removals between prefetch and use do not bias it.
+
+    Numpy's bounded-integer sampler consumes the underlying bit stream
+    element-wise with the same algorithm whether called with ``size=k``
+    or ``k`` times with ``size=None`` (asserted by the RNG-parity
+    tests), so block draws yield exactly the scalar sequence at a fixed
+    upper bound.
+
+    :meth:`reset` drops every prefetched value.  The rank program calls
+    it at each step entry so a run restored from a step-boundary
+    checkpoint — which snapshots only the bit-generator state, not the
+    buffers — refills from the same stream position as the original
+    run and stays bit-identical.
+    """
+
+    __slots__ = ("_rng", "_block", "_idx", "_coins", "_coin_pos")
+
+    def __init__(self, rng: RngStream, block: int = 256):
+        self._rng = rng
+        self._block = block
+        self._idx: dict = {}  # upper -> [values, next position]
+        self._coins: list = []
+        self._coin_pos = 0
+
+    def index(self, upper: int) -> int:
+        """Uniform integer in ``[0, upper)`` from the block for ``upper``."""
+        buf = self._idx.get(upper)
+        if buf is None or buf[1] >= self._block:
+            buf = [self._rng.generator.integers(
+                upper, size=self._block).tolist(), 0]
+            self._idx[upper] = buf
+        pos = buf[1]
+        buf[1] = pos + 1
+        return buf[0][pos]
+
+    def coin(self) -> bool:
+        """Fair coin flip from the coin block."""
+        pos = self._coin_pos
+        if pos >= len(self._coins):
+            self._coins = self._rng.generator.integers(
+                2, size=self._block).tolist()
+            pos = 0
+        self._coin_pos = pos + 1
+        return bool(self._coins[pos])
+
+    def reset(self) -> None:
+        """Discard all prefetched draws (checkpoint alignment)."""
+        self._idx.clear()
+        self._coins = []
+        self._coin_pos = 0
 
 
 def spawn_streams(seed, n: int) -> List[RngStream]:

@@ -47,6 +47,23 @@ class TestCli:
         assert "switches completed: 200" in out
         assert "invariants verified" in out
 
+    def test_switch_stats_prints_transport_counters(self, capsys):
+        rc = main(["switch", "--dataset", "erdos_renyi", "--ranks", "4",
+                   "--scheme", "hp-u", "--switches", "200", "--stats"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "transport (per rank):" in out
+        assert "rank 0:" in out and "frames" in out and "flushes:" in out
+
+    def test_switch_no_coalesce(self, capsys):
+        rc = main(["switch", "--dataset", "erdos_renyi", "--ranks", "4",
+                   "--scheme", "hp-u", "--switches", "200", "--stats",
+                   "--no-coalesce"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "switches completed: 200" in out
+        assert "coalescing off" in out
+
     def test_scaling_command(self, capsys):
         rc = main(["scaling", "--dataset", "erdos_renyi", "--ranks", "1,4",
                    "--switches", "300"])
